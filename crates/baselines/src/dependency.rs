@@ -1,0 +1,133 @@
+//! The Dependency baseline: abnormal components + *discovered*
+//! dependencies.
+
+use crate::outlier_common::outlier_onsets;
+use fchain_core::{CaseData, Localizer};
+use fchain_metrics::ComponentId;
+
+/// Like [`crate::TopologyScheme`] but using the dependency graph recovered
+/// by black-box discovery instead of assuming the topology. Two failure
+/// modes, both demonstrated in the paper:
+///
+/// * back-pressure inverts the propagation direction exactly as for the
+///   Topology scheme;
+/// * on continuous stream-processing traffic, discovery finds **no**
+///   dependencies at all, and the scheme degenerates to "output every
+///   component with an outlier change point" — the low System S precision
+///   of Fig. 7/9.
+#[derive(Debug, Clone)]
+pub struct DependencyScheme {
+    /// Pre-smoothing half-width.
+    pub smoothing_half: usize,
+}
+
+impl Default for DependencyScheme {
+    fn default() -> Self {
+        DependencyScheme { smoothing_half: 2 }
+    }
+}
+
+impl Localizer for DependencyScheme {
+    fn name(&self) -> &str {
+        "Dependency"
+    }
+
+    fn localize(&self, case: &CaseData) -> Vec<ComponentId> {
+        let abnormal = outlier_onsets(case, self.smoothing_half);
+        let ids: Vec<ComponentId> = abnormal.iter().map(|o| o.id).collect();
+        let deps = case.discovered_deps.as_ref();
+        let mut picked: Vec<ComponentId> = match deps {
+            Some(graph) if !graph.is_empty() => ids
+                .iter()
+                .copied()
+                .filter(|&c| {
+                    !ids.iter()
+                        .any(|&a| a != c && graph.has_directed_path(a, c))
+                })
+                .collect(),
+            // No dependency information discovered: every abnormal
+            // component is output (paper §III.A, scheme 4).
+            _ => ids,
+        };
+        picked.sort();
+        picked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fchain_core::ComponentCase;
+    use fchain_deps::DependencyGraph;
+    use fchain_metrics::{MetricKind, TimeSeries};
+
+    fn component(id: u32, abnormal: bool) -> ComponentCase {
+        let n = 800usize;
+        let mut metrics: Vec<TimeSeries> = (0..6)
+            .map(|k| {
+                TimeSeries::from_samples(
+                    0,
+                    (0..n).map(|t| 50.0 + ((t * (k + 2)) % 4) as f64).collect(),
+                )
+            })
+            .collect();
+        if abnormal {
+            let cpu: Vec<f64> = (0..n)
+                .map(|t| 30.0 + ((t * 3) % 5) as f64 + if t >= 700 { 40.0 } else { 0.0 })
+                .collect();
+            metrics[MetricKind::Cpu.index()] = TimeSeries::from_samples(0, cpu);
+        }
+        ComponentCase {
+            id: ComponentId(id),
+            name: format!("c{id}"),
+            metrics,
+        }
+    }
+
+    fn case(abnormal: &[bool], deps: Option<DependencyGraph>) -> CaseData {
+        CaseData {
+            violation_at: 750,
+            lookback: 100,
+            components: abnormal
+                .iter()
+                .enumerate()
+                .map(|(i, &a)| component(i as u32, a))
+                .collect(),
+            known_topology: None,
+            discovered_deps: deps,
+            frontend: None,
+        }
+    }
+
+    #[test]
+    fn walks_discovered_dependencies() {
+        let deps = DependencyGraph::from_edges([
+            (ComponentId(0), ComponentId(1)),
+            (ComponentId(1), ComponentId(2)),
+        ]);
+        let c = case(&[false, true, true], Some(deps));
+        assert_eq!(
+            DependencyScheme::default().localize(&c),
+            vec![ComponentId(1)]
+        );
+    }
+
+    #[test]
+    fn empty_discovery_blames_every_abnormal_component() {
+        // The System S outcome: all outlier components are output.
+        let c = case(&[true, true, false], Some(DependencyGraph::new()));
+        assert_eq!(
+            DependencyScheme::default().localize(&c),
+            vec![ComponentId(0), ComponentId(1)]
+        );
+    }
+
+    #[test]
+    fn missing_discovery_behaves_like_empty() {
+        let c = case(&[true, false, true], None);
+        assert_eq!(
+            DependencyScheme::default().localize(&c),
+            vec![ComponentId(0), ComponentId(2)]
+        );
+    }
+}

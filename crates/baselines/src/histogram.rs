@@ -1,0 +1,172 @@
+//! The Histogram baseline: KL-divergence anomaly scores.
+
+use fchain_core::{CaseData, Localizer};
+use fchain_metrics::{stats, ComponentId, MetricKind};
+
+/// The Histogram scheme "computes an anomaly score for each system-level
+/// metric using Kullback–Leibler divergence between the histogram of the
+/// most recent data contained in the same look-back window as FChain and
+/// the histogram of the whole data", then blames every component whose
+/// score exceeds a threshold (paper §III.A, scheme 1).
+///
+/// Its characteristic weakness: for fast-manifesting faults (CpuHog,
+/// NetHog) only a handful of the look-back window's samples are faulty
+/// when the SLO fires, so the recent histogram barely differs from the
+/// historical one and the score stays low (§III.B).
+///
+/// Sweep `threshold` to trace the ROC curve.
+#[derive(Debug, Clone)]
+pub struct HistogramScheme {
+    /// Anomaly-score threshold in nats.
+    pub threshold: f64,
+    /// Number of histogram bins.
+    pub bins: usize,
+}
+
+impl HistogramScheme {
+    /// Creates the scheme with a score threshold.
+    pub fn new(threshold: f64) -> Self {
+        HistogramScheme {
+            threshold,
+            bins: 20,
+        }
+    }
+
+    /// The anomaly score of one component: the maximum, over its six
+    /// metrics, of the KL divergence of the recent window against the
+    /// whole history, *corrected* by the median divergence of same-length
+    /// historical windows. Any window of a diurnal workload diverges
+    /// somewhat from the full-history distribution (phase mismatch); the
+    /// correction zeroes that per-component baseline so the threshold
+    /// compares genuine anomaly mass across components.
+    pub fn score(&self, case: &CaseData, component: ComponentId) -> f64 {
+        let cc = case.component(component);
+        let wlen = case.window(component, MetricKind::Cpu).len().max(10);
+        let mut max_kl = 0.0f64;
+        for kind in MetricKind::ALL {
+            let all = cc.metric(kind).values();
+            if all.len() < 2 * wlen {
+                continue;
+            }
+            let recent = case.window(component, kind);
+            // A shared range keeps the histograms comparable.
+            let lo = stats::min(all).unwrap_or(0.0);
+            let hi = stats::max(all).unwrap_or(1.0);
+            let (lo, hi) = if hi > lo { (lo, hi) } else { (lo - 0.5, lo + 0.5) };
+            let mut h_all = stats::Histogram::new(lo, hi, self.bins);
+            for &v in all {
+                h_all.add(v);
+            }
+            let kl_of = |window: &[f64]| {
+                let mut h = stats::Histogram::new(lo, hi, self.bins);
+                for &v in window {
+                    h.add(v);
+                }
+                stats::kl_divergence(&h, &h_all)
+            };
+            let recent_kl = kl_of(recent);
+            // Baseline: median divergence of historical windows.
+            let hist_span = all.len() - wlen;
+            let samples = 8usize;
+            let baseline_kls: Vec<f64> = (0..samples)
+                .map(|i| {
+                    let start = i * hist_span.saturating_sub(wlen) / samples.max(1);
+                    kl_of(&all[start..start + wlen])
+                })
+                .collect();
+            let baseline = stats::percentile(&baseline_kls, 50.0).unwrap_or(0.0);
+            max_kl = max_kl.max((recent_kl - baseline).max(0.0));
+        }
+        max_kl
+    }
+}
+
+impl Localizer for HistogramScheme {
+    fn name(&self) -> &str {
+        "Histogram"
+    }
+
+    fn localize(&self, case: &CaseData) -> Vec<ComponentId> {
+        let mut picked: Vec<ComponentId> = case
+            .component_ids()
+            .into_iter()
+            .filter(|&c| self.score(case, c) > self.threshold)
+            .collect();
+        picked.sort();
+        picked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fchain_core::ComponentCase;
+    use fchain_metrics::TimeSeries;
+
+    fn component(id: u32, fault_at: Option<usize>) -> ComponentCase {
+        let n = 1000usize;
+        let metrics: Vec<TimeSeries> = (0..6)
+            .map(|k| {
+                TimeSeries::from_samples(
+                    0,
+                    (0..n)
+                        .map(|t| {
+                            let base = 50.0 + ((t * (k + 2)) % 6) as f64;
+                            match fault_at {
+                                Some(at) if t >= at && k == 0 => base + 60.0,
+                                _ => base,
+                            }
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        ComponentCase {
+            id: ComponentId(id),
+            name: format!("c{id}"),
+            metrics,
+        }
+    }
+
+    fn case(fault_at: Option<usize>) -> CaseData {
+        CaseData {
+            violation_at: 950,
+            lookback: 100,
+            components: vec![component(0, None), component(1, fault_at)],
+            known_topology: None,
+            discovered_deps: None,
+            frontend: None,
+        }
+    }
+
+    #[test]
+    fn slow_fault_scores_high_fast_fault_scores_low() {
+        let scheme = HistogramScheme::new(0.1);
+        // Fault active for 90 of the window's 100 samples: strong shift.
+        let slow = scheme.score(&case(Some(860)), ComponentId(1));
+        // Fault active for only 6 samples: weak shift.
+        let fast = scheme.score(&case(Some(944)), ComponentId(1));
+        assert!(
+            slow > 4.0 * fast,
+            "slow {slow} should dominate fast {fast}"
+        );
+    }
+
+    #[test]
+    fn threshold_separates_components() {
+        let c = case(Some(860));
+        let scheme = HistogramScheme::new(0.1);
+        assert_eq!(scheme.localize(&c), vec![ComponentId(1)]);
+        // A very high threshold blames nobody.
+        let strict = HistogramScheme::new(1e6);
+        assert!(strict.localize(&c).is_empty());
+        assert_eq!(scheme.name(), "Histogram");
+    }
+
+    #[test]
+    fn normal_case_scores_near_zero() {
+        let c = case(None);
+        let scheme = HistogramScheme::new(0.05);
+        assert!(scheme.score(&c, ComponentId(1)) < 0.05);
+    }
+}

@@ -1,0 +1,43 @@
+//! The black-box fault localization baselines of the paper's §III.A.
+//!
+//! Every scheme implements [`fchain_core::Localizer`] so the evaluation
+//! harness can sweep them over the same diagnosis cases as FChain:
+//!
+//! 1. [`HistogramScheme`] — per-metric Kullback–Leibler divergence between
+//!    the recent look-back window and the whole history; components over a
+//!    score threshold are pinpointed (the Oliner-style detector).
+//! 2. [`NetMedic`] — application-agnostic multi-metric localization using
+//!    the known topology and inter-component impact learned from history;
+//!    previously unseen states get a default high impact (0.8), the
+//!    failure mode §III.B demonstrates.
+//! 3. [`TopologyScheme`] — PAL-style outlier change point detection plus
+//!    the *a-priori* topology: the most upstream abnormal component is
+//!    blamed. Back-pressure breaks the underlying assumption.
+//! 4. [`DependencyScheme`] — the same walk over *discovered* dependencies;
+//!    when discovery finds nothing (stream processing), every abnormal
+//!    component is blamed.
+//! 5. [`Pal`] — the authors' earlier system: abnormal components sorted by
+//!    change-point time, earliest (plus concurrent) blamed. No
+//!    predictability filtering, no dependency information.
+//! 6. [`FixedFiltering`] — FChain's pipeline with a *fixed* prediction
+//!    error threshold instead of the burst-adaptive one; swept over its
+//!    threshold in Fig. 12.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod dependency;
+mod fixed;
+mod histogram;
+mod netmedic;
+mod outlier_common;
+mod pal;
+mod topology;
+
+pub use dependency::DependencyScheme;
+pub use fixed::FixedFiltering;
+pub use histogram::HistogramScheme;
+pub use netmedic::NetMedic;
+pub use outlier_common::{outlier_onsets, OutlierOnset};
+pub use pal::Pal;
+pub use topology::TopologyScheme;

@@ -1,0 +1,321 @@
+//! A NetMedic-style localizer (Kandula et al., SIGCOMM 2009), reduced to
+//! the ingredients the paper's comparison exercises.
+
+use fchain_core::{CaseData, Localizer};
+use fchain_metrics::{stats, ComponentId, MetricKind, Tick};
+use std::collections::{BTreeMap, VecDeque};
+
+/// The default impact NetMedic assigns to an edge whose source component
+/// is in a previously *unseen* state — the root of its failure mode on
+/// novel anomalies ("NetMedic assigns a default high impact value (0.8) to
+/// an edge connecting to the abnormal component with a previously unseen
+/// state", paper §III.B footnote).
+pub const DEFAULT_UNSEEN_IMPACT: f64 = 0.8;
+
+/// Application-agnostic multi-metric fault localization using the known
+/// topology and inter-component impact estimated from historical state
+/// co-occurrence.
+///
+/// For every component the scheme forms a *state* (per-metric means over a
+/// short window), measures its abnormality as the distance to the nearest
+/// historical state, and estimates the impact of each topology edge from
+/// how the destination behaved whenever the source was historically in a
+/// state like its current one. Components are ranked by
+/// `abnormality × path impact` toward the most affected component; the
+/// top component is blamed along with every component whose score is
+/// within `delta` (relative) of the top — sweeping `delta` traces the ROC
+/// curve.
+#[derive(Debug, Clone)]
+pub struct NetMedic {
+    /// Relative score slack: also blame components with
+    /// `score >= top * (1 - delta)`.
+    pub delta: f64,
+    /// State window length in ticks.
+    pub state_window: usize,
+    /// How much history to mine (the paper configures 1800 s).
+    pub history: Tick,
+    /// Normalized state distance under which two states count as similar.
+    pub similarity: f64,
+}
+
+impl NetMedic {
+    /// Creates the scheme with a ranking slack `delta`.
+    pub fn new(delta: f64) -> Self {
+        NetMedic {
+            delta,
+            state_window: 30,
+            history: 1800,
+            similarity: 0.75,
+        }
+    }
+
+    /// The state of a component at tick `t`: per-metric means over the
+    /// preceding `state_window` ticks.
+    fn state(&self, case: &CaseData, c: ComponentId, t: Tick) -> [f64; 6] {
+        let cc = case.component(c);
+        let from = t.saturating_sub(self.state_window as Tick - 1);
+        let mut out = [0.0; 6];
+        for kind in MetricKind::ALL {
+            out[kind.index()] = stats::mean(cc.metric(kind).window(from, t));
+        }
+        out
+    }
+
+    /// Normalized distance between two states (per-metric scaled by the
+    /// component's historical standard deviation).
+    fn distance(a: &[f64; 6], b: &[f64; 6], scale: &[f64; 6]) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..6 {
+            acc += (a[i] - b[i]).abs() / scale[i].max(1e-9);
+        }
+        acc / 6.0
+    }
+
+    /// Per-metric historical std of a component over the history period.
+    fn scales(&self, case: &CaseData, c: ComponentId, hist_end: Tick) -> [f64; 6] {
+        let cc = case.component(c);
+        let from = hist_end.saturating_sub(self.history);
+        let mut out = [0.0; 6];
+        for kind in MetricKind::ALL {
+            out[kind.index()] = stats::std_dev(cc.metric(kind).window(from, hist_end));
+        }
+        out
+    }
+
+    /// Sampled historical states of a component (stride 10).
+    fn historical_states(
+        &self,
+        case: &CaseData,
+        c: ComponentId,
+        hist_end: Tick,
+    ) -> Vec<(Tick, [f64; 6])> {
+        let from = hist_end
+            .saturating_sub(self.history)
+            .max(self.state_window as Tick);
+        (from..=hist_end)
+            .step_by(10)
+            .map(|t| (t, self.state(case, c, t)))
+            .collect()
+    }
+
+    /// Abnormality of a component: distance from its current state to the
+    /// nearest historical state.
+    pub fn abnormality(&self, case: &CaseData, c: ComponentId) -> f64 {
+        let hist_end = case.window_start().saturating_sub(1);
+        let now = self.state(case, c, case.violation_at);
+        let scale = self.scales(case, c, hist_end);
+        self.historical_states(case, c, hist_end)
+            .iter()
+            .map(|(_, s)| Self::distance(&now, s, &scale))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Impact of the directed edge `a -> b`: when `a` was historically in
+    /// a state like its current one, did `b` look like it does now? If no
+    /// similar historical state of `a` exists (a previously unseen state),
+    /// the default high impact applies.
+    fn edge_impact(&self, case: &CaseData, a: ComponentId, b: ComponentId) -> f64 {
+        let hist_end = case.window_start().saturating_sub(1);
+        let now_a = self.state(case, a, case.violation_at);
+        let now_b = self.state(case, b, case.violation_at);
+        let scale_a = self.scales(case, a, hist_end);
+        let scale_b = self.scales(case, b, hist_end);
+        let mut impacts = Vec::new();
+        for (t, sa) in self.historical_states(case, a, hist_end) {
+            if Self::distance(&now_a, &sa, &scale_a) < self.similarity {
+                let sb = self.state(case, b, t);
+                let d = Self::distance(&now_b, &sb, &scale_b);
+                impacts.push((1.0 - d).clamp(0.0, 1.0));
+            }
+        }
+        if impacts.is_empty() {
+            DEFAULT_UNSEEN_IMPACT
+        } else {
+            stats::mean(&impacts)
+        }
+    }
+
+    /// Product of edge impacts along the shortest undirected path from
+    /// `from` to `to` (1.0 when `from == to`, 0.0 when unreachable).
+    fn path_impact(
+        &self,
+        impacts: &BTreeMap<(u32, u32), f64>,
+        adjacency: &BTreeMap<u32, Vec<u32>>,
+        from: ComponentId,
+        to: ComponentId,
+    ) -> f64 {
+        if from == to {
+            return 1.0;
+        }
+        // BFS tracking the best (max) product per node.
+        let mut best: BTreeMap<u32, f64> = BTreeMap::new();
+        let mut queue = VecDeque::new();
+        best.insert(from.0, 1.0);
+        queue.push_back(from.0);
+        while let Some(cur) = queue.pop_front() {
+            let cur_score = best[&cur];
+            for &next in adjacency.get(&cur).into_iter().flatten() {
+                let w = impacts.get(&(cur, next)).copied().unwrap_or(0.0);
+                let score = cur_score * w;
+                if score > best.get(&next).copied().unwrap_or(0.0) + 1e-12 {
+                    best.insert(next, score);
+                    queue.push_back(next);
+                }
+            }
+        }
+        best.get(&to.0).copied().unwrap_or(0.0)
+    }
+}
+
+impl Localizer for NetMedic {
+    fn name(&self) -> &str {
+        "NetMedic"
+    }
+
+    fn localize(&self, case: &CaseData) -> Vec<ComponentId> {
+        let Some(topology) = &case.known_topology else {
+            return Vec::new();
+        };
+        let ids = case.component_ids();
+        if ids.is_empty() {
+            return Vec::new();
+        }
+        // Candidates are ranked by the impact they exert on the affected
+        // service: the component whose SLO fired (the frontend) when
+        // known, otherwise the most deviant component.
+        let abnormality: BTreeMap<u32, f64> = ids
+            .iter()
+            .map(|&c| (c.0, self.abnormality(case, c)))
+            .collect();
+        let target = case.frontend.unwrap_or_else(|| {
+            *ids.iter()
+                .max_by(|a, b| {
+                    abnormality[&a.0]
+                        .partial_cmp(&abnormality[&b.0])
+                        .expect("finite abnormality")
+                })
+                .expect("non-empty ids")
+        });
+
+        // Edge impacts over the topology. The impact of a step x -> y is
+        // conditioned on x's current state (does history explain y when x
+        // looks like this?), so both orientations of every edge carry
+        // their own estimate: an unseen source state yields the default
+        // high impact in that direction only.
+        let mut impacts = BTreeMap::new();
+        let mut adjacency: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        for (a, b) in topology.edges() {
+            impacts.insert((a.0, b.0), self.edge_impact(case, a, b));
+            impacts.insert((b.0, a.0), self.edge_impact(case, b, a));
+            adjacency.entry(a.0).or_default().push(b.0);
+            adjacency.entry(b.0).or_default().push(a.0);
+        }
+
+        let mut scored: Vec<(ComponentId, f64)> = ids
+            .iter()
+            .map(|&c| {
+                let path = self.path_impact(&impacts, &adjacency, c, target);
+                (c, abnormality[&c.0] * path)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite score"));
+        let top = scored[0].1;
+        if top <= 0.0 {
+            return Vec::new();
+        }
+        let mut picked: Vec<ComponentId> = scored
+            .iter()
+            .filter(|&&(_, s)| s >= top * (1.0 - self.delta))
+            .map(|&(c, _)| c)
+            .collect();
+        picked.sort();
+        picked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fchain_core::ComponentCase;
+    use fchain_deps::DependencyGraph;
+    use fchain_metrics::TimeSeries;
+
+    /// Component whose CPU jumps by `jump` at t=2050 (violation at 2100).
+    fn component(id: u32, jump: f64) -> ComponentCase {
+        let n = 2101usize;
+        let mut metrics: Vec<TimeSeries> = (0..6)
+            .map(|k| {
+                TimeSeries::from_samples(
+                    0,
+                    (0..n).map(|t| 50.0 + ((t * (k + 2)) % 8) as f64).collect(),
+                )
+            })
+            .collect();
+        let cpu: Vec<f64> = (0..n)
+            .map(|t| {
+                30.0 + ((t * 3) % 7) as f64 + if t >= 2050 { jump } else { 0.0 }
+            })
+            .collect();
+        metrics[MetricKind::Cpu.index()] = TimeSeries::from_samples(0, cpu);
+        ComponentCase {
+            id: ComponentId(id),
+            name: format!("c{id}"),
+            metrics,
+        }
+    }
+
+    fn case(jumps: &[f64]) -> CaseData {
+        CaseData {
+            violation_at: 2100,
+            lookback: 100,
+            components: jumps
+                .iter()
+                .enumerate()
+                .map(|(i, &j)| component(i as u32, j))
+                .collect(),
+            known_topology: Some(DependencyGraph::from_edges([
+                (ComponentId(0), ComponentId(1)),
+                (ComponentId(1), ComponentId(2)),
+            ])),
+            discovered_deps: None,
+            frontend: None,
+        }
+    }
+
+    #[test]
+    fn abnormality_tracks_deviation() {
+        let c = case(&[0.0, 40.0, 0.0]);
+        let nm = NetMedic::new(0.1);
+        let quiet = nm.abnormality(&c, ComponentId(0));
+        let loud = nm.abnormality(&c, ComponentId(1));
+        assert!(loud > 4.0 * (quiet + 0.01), "loud {loud} quiet {quiet}");
+    }
+
+    #[test]
+    fn blames_the_most_deviant_component_on_unseen_states() {
+        // Both 1 and 2 deviate into unseen states; the bigger deviation
+        // wins the ranking (the default 0.8 impact makes path products
+        // nearly uniform) — for better or worse.
+        let c = case(&[0.0, 25.0, 60.0]);
+        let nm = NetMedic::new(0.05);
+        let picked = nm.localize(&c);
+        assert_eq!(picked, vec![ComponentId(2)]);
+        assert_eq!(nm.name(), "NetMedic");
+    }
+
+    #[test]
+    fn delta_widens_the_blame_set() {
+        let c = case(&[0.0, 55.0, 60.0]);
+        let tight = NetMedic::new(0.01).localize(&c);
+        let loose = NetMedic::new(0.9).localize(&c);
+        assert!(loose.len() >= tight.len());
+        assert!(loose.len() >= 2, "loose delta should blame both deviants");
+    }
+
+    #[test]
+    fn no_topology_no_answer() {
+        let mut c = case(&[0.0, 40.0, 0.0]);
+        c.known_topology = None;
+        assert!(NetMedic::new(0.1).localize(&c).is_empty());
+    }
+}

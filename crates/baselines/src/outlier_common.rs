@@ -1,0 +1,144 @@
+//! Shared PAL-style abnormal-component detection.
+//!
+//! The Topology, Dependency and PAL schemes all "first detect abnormal
+//! components using the outlier change point detection algorithm developed
+//! in ... PAL" (§III.A): smoothing, CUSUM + bootstrap change points, and
+//! the change-magnitude outlier filter — but **no** predictability
+//! filtering. This module implements that common front end once.
+
+use fchain_core::CaseData;
+use fchain_detect::{magnitude_outliers, CusumConfig, CusumDetector, OutlierConfig, Trend};
+use fchain_metrics::{smooth, ComponentId, MetricKind, Tick};
+
+/// One abnormal component as seen by the PAL-style detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OutlierOnset {
+    /// The component.
+    pub id: ComponentId,
+    /// Time of its earliest outlier change point.
+    pub onset: Tick,
+    /// Direction of that change.
+    pub direction: Trend,
+    /// Magnitude of the largest outlier change (window units).
+    pub magnitude: f64,
+}
+
+/// Runs the PAL outlier detector over every component of a case, returning
+/// the abnormal ones with their earliest outlier change-point time.
+///
+/// `smoothing_half` matches FChain's pre-smoothing so that comparisons
+/// against FChain isolate the *selection* differences, not preprocessing.
+pub fn outlier_onsets(case: &CaseData, smoothing_half: usize) -> Vec<OutlierOnset> {
+    let detector = CusumDetector::new(CusumConfig::default());
+    let outlier_cfg = OutlierConfig::default();
+    let window_start = case.window_start();
+    let mut out = Vec::new();
+
+    for cc in &case.components {
+        let mut best: Option<OutlierOnset> = None;
+        for kind in MetricKind::ALL {
+            let window = cc
+                .metric(kind)
+                .window(window_start, case.violation_at);
+            if window.len() < 20 {
+                continue;
+            }
+            let smoothed = smooth::moving_average(window, smoothing_half);
+            let cps = detector.detect(&smoothed);
+            let outliers = magnitude_outliers(&cps, &smoothed, &outlier_cfg);
+            for cp in outliers {
+                let onset = window_start + cp.index as Tick;
+                let better = match &best {
+                    None => true,
+                    Some(b) => onset < b.onset,
+                };
+                if better {
+                    best = Some(OutlierOnset {
+                        id: cc.id,
+                        onset,
+                        direction: cp.direction,
+                        magnitude: cp.magnitude,
+                    });
+                }
+            }
+        }
+        if let Some(b) = best {
+            out.push(b);
+        }
+    }
+    out.sort_by_key(|o| (o.onset, o.id));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fchain_core::ComponentCase;
+    use fchain_metrics::TimeSeries;
+
+    fn component(id: u32, step_at: Option<usize>) -> ComponentCase {
+        let n = 800usize;
+        let mut metrics: Vec<TimeSeries> = (0..6)
+            .map(|k| {
+                TimeSeries::from_samples(
+                    0,
+                    (0..n).map(|t| 50.0 + ((t * (k + 2)) % 4) as f64).collect(),
+                )
+            })
+            .collect();
+        if let Some(at) = step_at {
+            let cpu: Vec<f64> = (0..n)
+                .map(|t| 30.0 + ((t * 3) % 5) as f64 + if t >= at { 40.0 } else { 0.0 })
+                .collect();
+            metrics[MetricKind::Cpu.index()] = TimeSeries::from_samples(0, cpu);
+        }
+        ComponentCase {
+            id: ComponentId(id),
+            name: format!("c{id}"),
+            metrics,
+        }
+    }
+
+    fn case(components: Vec<ComponentCase>) -> CaseData {
+        CaseData {
+            violation_at: 750,
+            lookback: 100,
+            components,
+            known_topology: None,
+            discovered_deps: None,
+            frontend: None,
+        }
+    }
+
+    #[test]
+    fn finds_the_stepped_component_only() {
+        let c = case(vec![
+            component(0, None),
+            component(1, Some(700)),
+            component(2, None),
+        ]);
+        let onsets = outlier_onsets(&c, 2);
+        assert_eq!(onsets.len(), 1);
+        assert_eq!(onsets[0].id, ComponentId(1));
+        assert!((695..=705).contains(&onsets[0].onset), "{}", onsets[0].onset);
+        assert_eq!(onsets[0].direction, Trend::Up);
+    }
+
+    #[test]
+    fn output_is_sorted_by_onset() {
+        let c = case(vec![
+            component(0, Some(710)),
+            component(1, Some(690)),
+        ]);
+        let onsets = outlier_onsets(&c, 2);
+        assert_eq!(onsets.len(), 2);
+        assert_eq!(onsets[0].id, ComponentId(1));
+        assert!(onsets[0].onset <= onsets[1].onset);
+    }
+
+    #[test]
+    fn quiet_case_yields_nothing() {
+        let c = case(vec![component(0, None), component(1, None)]);
+        assert!(outlier_onsets(&c, 2).is_empty());
+    }
+}

@@ -1,0 +1,125 @@
+//! PAL: propagation-aware anomaly localization (the authors' precursor
+//! system, SLAML 2011).
+
+use crate::outlier_common::outlier_onsets;
+use fchain_core::{CaseData, Localizer};
+use fchain_metrics::ComponentId;
+
+/// PAL sorts the components that show outlier change points by their
+/// change-point time and blames the earliest (plus any within the
+/// concurrency threshold). Unlike FChain it has **no** predictability
+/// filter — normal workload bursts that produce outlier-sized change
+/// points enter the chain and can steal the "earliest" slot — and no
+/// dependency information, so spurious propagation between independent
+/// components goes unchecked, and its onset estimates come straight from
+/// the change points (no tangent rollback), which mis-orders gradual
+/// faults.
+#[derive(Debug, Clone)]
+pub struct Pal {
+    /// Onset-difference under which two components count as concurrent.
+    pub concurrency_threshold: u64,
+    /// Pre-smoothing half-width (PAL smooths like FChain).
+    pub smoothing_half: usize,
+}
+
+impl Default for Pal {
+    fn default() -> Self {
+        Pal {
+            concurrency_threshold: 2,
+            smoothing_half: 2,
+        }
+    }
+}
+
+impl Localizer for Pal {
+    fn name(&self) -> &str {
+        "PAL"
+    }
+
+    fn localize(&self, case: &CaseData) -> Vec<ComponentId> {
+        let onsets = outlier_onsets(case, self.smoothing_half);
+        let Some(first) = onsets.first() else {
+            return Vec::new();
+        };
+        let t0 = first.onset;
+        let mut picked: Vec<ComponentId> = onsets
+            .iter()
+            .filter(|o| o.onset - t0 <= self.concurrency_threshold)
+            .map(|o| o.id)
+            .collect();
+        picked.sort();
+        picked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fchain_core::ComponentCase;
+    use fchain_metrics::{MetricKind, TimeSeries};
+
+    fn component(id: u32, step_at: Option<usize>) -> ComponentCase {
+        let n = 800usize;
+        let mut metrics: Vec<TimeSeries> = (0..6)
+            .map(|k| {
+                TimeSeries::from_samples(
+                    0,
+                    (0..n).map(|t| 50.0 + ((t * (k + 2)) % 4) as f64).collect(),
+                )
+            })
+            .collect();
+        if let Some(at) = step_at {
+            let cpu: Vec<f64> = (0..n)
+                .map(|t| 30.0 + ((t * 3) % 5) as f64 + if t >= at { 40.0 } else { 0.0 })
+                .collect();
+            metrics[MetricKind::Cpu.index()] = TimeSeries::from_samples(0, cpu);
+        }
+        ComponentCase {
+            id: ComponentId(id),
+            name: format!("c{id}"),
+            metrics,
+        }
+    }
+
+    fn case(components: Vec<ComponentCase>) -> CaseData {
+        CaseData {
+            violation_at: 750,
+            lookback: 100,
+            components,
+            known_topology: None,
+            discovered_deps: None,
+            frontend: None,
+        }
+    }
+
+    #[test]
+    fn earliest_component_wins() {
+        let c = case(vec![
+            component(0, Some(700)),
+            component(1, Some(690)),
+            component(2, None),
+        ]);
+        let pal = Pal::default();
+        assert_eq!(pal.localize(&c), vec![ComponentId(1)]);
+        assert_eq!(pal.name(), "PAL");
+    }
+
+    #[test]
+    fn concurrent_steps_both_blamed() {
+        let c = case(vec![
+            component(0, Some(700)),
+            component(1, Some(701)),
+            component(2, None),
+        ]);
+        assert_eq!(
+            Pal::default().localize(&c),
+            vec![ComponentId(0), ComponentId(1)]
+        );
+    }
+
+    #[test]
+    fn silent_on_quiet_case() {
+        let c = case(vec![component(0, None)]);
+        assert!(Pal::default().localize(&c).is_empty());
+    }
+}

@@ -1,0 +1,138 @@
+//! The Topology baseline: abnormal components + a-priori topology.
+
+use crate::outlier_common::outlier_onsets;
+use fchain_core::{CaseData, Localizer};
+use fchain_metrics::ComponentId;
+
+/// The Topology scheme assumes the application topology is known. It
+/// detects abnormal components with the PAL outlier detector and blames
+/// the **most upstream** abnormal component(s): any abnormal component
+/// that no other abnormal component can reach along the dataflow
+/// direction. The underlying assumption — anomalies flow downstream with
+/// the requests — breaks on back-pressure: a faulty last tier makes its
+/// *upstream* neighbors abnormal, and the walk blames them instead
+/// (§III.B, the MemLeak/CpuHog-at-the-database cases).
+#[derive(Debug, Clone)]
+pub struct TopologyScheme {
+    /// Pre-smoothing half-width.
+    pub smoothing_half: usize,
+}
+
+impl Default for TopologyScheme {
+    fn default() -> Self {
+        TopologyScheme { smoothing_half: 2 }
+    }
+}
+
+impl Localizer for TopologyScheme {
+    fn name(&self) -> &str {
+        "Topology"
+    }
+
+    fn localize(&self, case: &CaseData) -> Vec<ComponentId> {
+        let Some(topology) = &case.known_topology else {
+            return Vec::new();
+        };
+        let abnormal = outlier_onsets(case, self.smoothing_half);
+        let ids: Vec<ComponentId> = abnormal.iter().map(|o| o.id).collect();
+        let mut picked: Vec<ComponentId> = ids
+            .iter()
+            .copied()
+            .filter(|&c| {
+                !ids.iter()
+                    .any(|&a| a != c && topology.has_directed_path(a, c))
+            })
+            .collect();
+        picked.sort();
+        picked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fchain_core::ComponentCase;
+    use fchain_deps::DependencyGraph;
+    use fchain_metrics::{MetricKind, TimeSeries};
+
+    fn component(id: u32, abnormal: bool) -> ComponentCase {
+        let n = 800usize;
+        let mut metrics: Vec<TimeSeries> = (0..6)
+            .map(|k| {
+                TimeSeries::from_samples(
+                    0,
+                    (0..n).map(|t| 50.0 + ((t * (k + 2)) % 4) as f64).collect(),
+                )
+            })
+            .collect();
+        if abnormal {
+            let cpu: Vec<f64> = (0..n)
+                .map(|t| 30.0 + ((t * 3) % 5) as f64 + if t >= 700 { 40.0 } else { 0.0 })
+                .collect();
+            metrics[MetricKind::Cpu.index()] = TimeSeries::from_samples(0, cpu);
+        }
+        ComponentCase {
+            id: ComponentId(id),
+            name: format!("c{id}"),
+            metrics,
+        }
+    }
+
+    /// web(0) -> app(1) -> db(2)
+    fn three_tier() -> DependencyGraph {
+        DependencyGraph::from_edges([
+            (ComponentId(0), ComponentId(1)),
+            (ComponentId(1), ComponentId(2)),
+        ])
+    }
+
+    fn case(abnormal: &[bool]) -> CaseData {
+        CaseData {
+            violation_at: 750,
+            lookback: 100,
+            components: abnormal
+                .iter()
+                .enumerate()
+                .map(|(i, &a)| component(i as u32, a))
+                .collect(),
+            known_topology: Some(three_tier()),
+            discovered_deps: None,
+            frontend: None,
+        }
+    }
+
+    #[test]
+    fn blames_the_most_upstream_abnormal_component() {
+        // The back-pressure failure mode: db fault made the app abnormal
+        // too; Topology blames the app — the upstream of the culprit.
+        let c = case(&[false, true, true]);
+        assert_eq!(TopologyScheme::default().localize(&c), vec![ComponentId(1)]);
+    }
+
+    #[test]
+    fn correct_when_fault_is_at_the_first_tier() {
+        let c = case(&[true, true, false]);
+        assert_eq!(TopologyScheme::default().localize(&c), vec![ComponentId(0)]);
+    }
+
+    #[test]
+    fn no_topology_means_no_answer() {
+        let mut c = case(&[true, false, false]);
+        c.known_topology = None;
+        assert!(TopologyScheme::default().localize(&c).is_empty());
+    }
+
+    #[test]
+    fn independent_branches_each_blamed() {
+        // Two disconnected 1-component "apps": both abnormal, both blamed.
+        let mut c = case(&[true, false, true]);
+        c.known_topology = Some(DependencyGraph::from_edges([(
+            ComponentId(0),
+            ComponentId(1),
+        )]));
+        assert_eq!(
+            TopologyScheme::default().localize(&c),
+            vec![ComponentId(0), ComponentId(2)]
+        );
+    }
+}

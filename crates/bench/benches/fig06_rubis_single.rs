@@ -1,0 +1,13 @@
+//! Fig. 6 — fault localization accuracy for the single-component RUBiS
+//! faults (MemLeak, CpuHog, NetHog), all schemes.
+use fchain_bench::{comparison_schemes, run_figure};
+use fchain_sim::{AppKind, FaultKind};
+
+fn main() {
+    run_figure(
+        "fig06_rubis_single",
+        AppKind::Rubis,
+        &[FaultKind::MemLeak, FaultKind::CpuHog, FaultKind::NetHog],
+        &comparison_schemes(),
+    );
+}

@@ -1,0 +1,14 @@
+//! Fig. 7 — single-component System S faults (MemLeak, CpuHog,
+//! Bottleneck), all schemes. Dependency discovery finds nothing on stream
+//! traffic, so the Dependency scheme outputs every outlier component.
+use fchain_bench::{comparison_schemes, run_figure};
+use fchain_sim::{AppKind, FaultKind};
+
+fn main() {
+    run_figure(
+        "fig07_systems_single",
+        AppKind::SystemS,
+        &[FaultKind::MemLeak, FaultKind::CpuHog, FaultKind::Bottleneck],
+        &comparison_schemes(),
+    );
+}

@@ -1,0 +1,13 @@
+//! Fig. 8 — multi-component RUBiS faults (OffloadBug JBAS-1442, LBBug
+//! mod_jk 1.2.30), all schemes.
+use fchain_bench::{comparison_schemes, run_figure};
+use fchain_sim::{AppKind, FaultKind};
+
+fn main() {
+    run_figure(
+        "fig08_rubis_multi",
+        AppKind::Rubis,
+        &[FaultKind::OffloadBug, FaultKind::LbBug],
+        &comparison_schemes(),
+    );
+}

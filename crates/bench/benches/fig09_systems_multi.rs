@@ -1,0 +1,13 @@
+//! Fig. 9 — multi-component System S faults (concurrent MemLeak and
+//! CpuHog in two randomly selected PEs), all schemes.
+use fchain_bench::{comparison_schemes, run_figure};
+use fchain_sim::{AppKind, FaultKind};
+
+fn main() {
+    run_figure(
+        "fig09_systems_multi",
+        AppKind::SystemS,
+        &[FaultKind::ConcurrentMemLeak, FaultKind::ConcurrentCpuHog],
+        &comparison_schemes(),
+    );
+}

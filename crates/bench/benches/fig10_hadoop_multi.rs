@@ -1,0 +1,18 @@
+//! Fig. 10 — multi-component Hadoop faults (concurrent MemLeak, CpuHog,
+//! DiskHog in all three map nodes), all schemes. DiskHog uses the long
+//! W = 500 look-back window (§III.A).
+use fchain_bench::{comparison_schemes, run_figure};
+use fchain_sim::{AppKind, FaultKind};
+
+fn main() {
+    run_figure(
+        "fig10_hadoop_multi",
+        AppKind::Hadoop,
+        &[
+            FaultKind::ConcurrentMemLeak,
+            FaultKind::ConcurrentCpuHog,
+            FaultKind::ConcurrentDiskHog,
+        ],
+        &comparison_schemes(),
+    );
+}

@@ -1,0 +1,43 @@
+//! Fig. 11 — online pinpointing validation effectiveness on the two most
+//! challenging System S faults (Bottleneck and concurrent CpuHog):
+//! "FChain+VAL" scales the implicated resource on every pinpointed
+//! component and keeps only those whose scaling eases the SLO violation.
+//! Validation removes false alarms (precision up) but cannot recover
+//! missed components (recall unchanged) — §III.D.
+use fchain_core::{FChain, Localizer};
+use fchain_eval::{render, Campaign, Counts, OracleProbe};
+use fchain_sim::{AppKind, FaultKind};
+
+fn main() {
+    let fchain = FChain::default();
+    let mut blocks = Vec::new();
+    for (i, fault) in [FaultKind::Bottleneck, FaultKind::ConcurrentCpuHog]
+        .into_iter()
+        .enumerate()
+    {
+        let campaign = Campaign::new(AppKind::SystemS, fault, 4000 + 31 * i as u64);
+        // Plain FChain and FChain+VAL over identical runs: the closure
+        // variant gives access to each run's scaling oracle.
+        let plain = campaign.evaluate(&[&fchain]);
+        let validated = campaign.evaluate_with(&[&fchain], |_s, case, run| {
+            let mut probe = OracleProbe::new(&run.oracle);
+            FChain::default().diagnose_validated(case, &mut probe).pinpointed
+        });
+        let rows: Vec<(String, Counts)> = vec![
+            ("FChain".into(), plain[0].counts),
+            ("FChain+VAL".into(), validated[0].counts),
+        ];
+        let title = format!(
+            "fig11: systems / {fault} ({} runs, W={})",
+            campaign.runs, campaign.lookback
+        );
+        print!("{}", render::roc_block(&title, &rows));
+        println!();
+        blocks.push(fchain_bench::json_block(
+            &title,
+            &[plain[0].clone(), validated[0].clone()],
+        ));
+    }
+    fchain_bench::dump_json("fig11_validation", &blocks);
+    let _ = fchain.name();
+}

@@ -1,0 +1,15 @@
+//! Fig. 12 — Fixed-Filtering threshold sensitivity (LBBug in RUBiS and
+//! DiskHog in Hadoop) versus FChain's burst-adaptive filtering.
+use fchain_bench::{fixed_filtering_schemes, run_figure};
+use fchain_sim::{AppKind, FaultKind};
+
+fn main() {
+    let schemes = fixed_filtering_schemes();
+    run_figure("fig12_lbbug", AppKind::Rubis, &[FaultKind::LbBug], &schemes);
+    run_figure(
+        "fig12_diskhog",
+        AppKind::Hadoop,
+        &[FaultKind::ConcurrentDiskHog],
+        &schemes,
+    );
+}

@@ -1,0 +1,58 @@
+//! Table I — sensitivity of FChain's accuracy to the look-back window W
+//! (100/300/500) and the concurrency threshold (2/5/10 s), for NetHog in
+//! RUBiS, CPUHog in System S and DiskHog in Hadoop.
+use fchain_core::{FChain, FChainConfig, Localizer};
+use fchain_eval::{render, Campaign};
+use fchain_sim::{AppKind, FaultKind};
+use serde_json::json;
+
+const CELLS: [(AppKind, FaultKind); 3] = [
+    (AppKind::Rubis, FaultKind::NetHog),
+    (AppKind::SystemS, FaultKind::CpuHog),
+    (AppKind::Hadoop, FaultKind::ConcurrentDiskHog),
+];
+
+fn main() {
+    let mut blocks = Vec::new();
+    println!("== Table I: look-back window W (seconds) ==");
+    for w in [100u64, 300, 500] {
+        let mut cols = Vec::new();
+        for (i, (app, fault)) in CELLS.into_iter().enumerate() {
+            let campaign =
+                Campaign::new(app, fault, 7000 + 13 * i as u64).with_lookback(w);
+            let fchain = FChain::default();
+            let res = campaign.evaluate(&[&fchain]);
+            cols.push(format!("{app}/{fault}: {}", render::pr_cell(&res[0].counts)));
+            blocks.push(json!({
+                "param": "lookback", "value": w,
+                "app": app.name(), "fault": fault.name(),
+                "precision": res[0].counts.precision(),
+                "recall": res[0].counts.recall(),
+            }));
+        }
+        println!("W={w:<4} | {}", cols.join(" | "));
+    }
+    println!();
+    println!("== Table I: concurrency threshold (seconds) ==");
+    for thr in [2u64, 5, 10] {
+        let mut cols = Vec::new();
+        for (i, (app, fault)) in CELLS.into_iter().enumerate() {
+            let campaign = Campaign::new(app, fault, 7000 + 13 * i as u64);
+            let fchain = FChain::new(FChainConfig {
+                concurrency_threshold: thr,
+                ..FChainConfig::default()
+            });
+            let res = campaign.evaluate(&[&fchain]);
+            cols.push(format!("{app}/{fault}: {}", render::pr_cell(&res[0].counts)));
+            blocks.push(json!({
+                "param": "concurrency", "value": thr,
+                "app": app.name(), "fault": fault.name(),
+                "precision": res[0].counts.precision(),
+                "recall": res[0].counts.recall(),
+            }));
+            let _ = fchain.name();
+        }
+        println!("thr={thr:<3} | {}", cols.join(" | "));
+    }
+    fchain_bench::dump_json("table1_sensitivity", &blocks);
+}

@@ -1,0 +1,151 @@
+//! Tiny dependency-free flag parser for the `fchain` binary.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed command line: the subcommand plus `--key value` flags.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: Option<String>,
+    /// `--key value` pairs; bare `--key` flags map to `"true"`.
+    flags: BTreeMap<String, String>,
+}
+
+/// A flag error with enough context for a helpful message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// A token that is neither the subcommand nor a `--flag`.
+    UnexpectedToken(String),
+    /// A required flag is missing.
+    Missing(&'static str),
+    /// A flag's value failed to parse.
+    Invalid {
+        /// Which flag.
+        flag: String,
+        /// The offending value.
+        value: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::UnexpectedToken(t) => write!(f, "unexpected argument {t:?}"),
+            ArgError::Missing(flag) => write!(f, "missing required flag --{flag}"),
+            ArgError::Invalid {
+                flag,
+                value,
+                expected,
+            } => write!(f, "invalid value {value:?} for --{flag} (expected {expected})"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses raw arguments (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::UnexpectedToken`] for stray positionals beyond
+    /// the subcommand.
+    pub fn parse<I, S>(raw: I) -> Result<Args, ArgError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut args = Args::default();
+        let mut iter = raw.into_iter().map(Into::into).peekable();
+        while let Some(token) = iter.next() {
+            if let Some(key) = token.strip_prefix("--") {
+                let value = match iter.peek() {
+                    Some(next) if !next.starts_with("--") => iter.next().expect("peeked"),
+                    _ => "true".to_string(),
+                };
+                args.flags.insert(key.to_string(), value);
+            } else if args.command.is_none() {
+                args.command = Some(token);
+            } else {
+                return Err(ArgError::UnexpectedToken(token));
+            }
+        }
+        Ok(args)
+    }
+
+    /// A string flag.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// A required string flag.
+    pub fn require(&self, key: &'static str) -> Result<&str, ArgError> {
+        self.get(key).ok_or(ArgError::Missing(key))
+    }
+
+    /// A parsed numeric/bool flag with a default.
+    pub fn get_parsed<T: std::str::FromStr>(
+        &self,
+        key: &str,
+        default: T,
+    ) -> Result<T, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::Invalid {
+                flag: key.to_string(),
+                value: v.to_string(),
+                expected: std::any::type_name::<T>(),
+            }),
+        }
+    }
+
+    /// Whether a bare boolean flag is present.
+    pub fn has(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_subcommand_and_flags() {
+        let a = Args::parse(["diagnose", "--app", "rubis", "--seed", "7", "--validate"]).unwrap();
+        assert_eq!(a.command.as_deref(), Some("diagnose"));
+        assert_eq!(a.get("app"), Some("rubis"));
+        assert_eq!(a.get_parsed("seed", 0u64).unwrap(), 7);
+        assert!(a.has("validate"));
+        assert!(!a.has("nope"));
+    }
+
+    #[test]
+    fn defaults_apply_when_flags_are_absent() {
+        let a = Args::parse(["run"]).unwrap();
+        assert_eq!(a.get_parsed("duration", 3600u64).unwrap(), 3600);
+    }
+
+    #[test]
+    fn rejects_stray_positionals() {
+        let err = Args::parse(["run", "extra"]).unwrap_err();
+        assert!(matches!(err, ArgError::UnexpectedToken(t) if t == "extra"));
+    }
+
+    #[test]
+    fn missing_and_invalid_flags_report_context() {
+        let a = Args::parse(["run", "--seed", "abc"]).unwrap();
+        assert_eq!(a.require("app").unwrap_err(), ArgError::Missing("app"));
+        let err = a.get_parsed("seed", 0u64).unwrap_err();
+        assert!(err.to_string().contains("--seed"));
+    }
+
+    #[test]
+    fn bare_flag_before_another_flag() {
+        let a = Args::parse(["x", "--validate", "--seed", "3"]).unwrap();
+        assert!(a.has("validate"));
+        assert_eq!(a.get("seed"), Some("3"));
+    }
+}

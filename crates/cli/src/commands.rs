@@ -1,0 +1,389 @@
+//! The `fchain` subcommand implementations.
+
+use crate::args::Args;
+use fchain_baselines::{
+    DependencyScheme, HistogramScheme, NetMedic, Pal, TopologyScheme,
+};
+use fchain_core::{FChain, Localizer, Verdict};
+use fchain_eval::{case_from_run, render, Campaign, OracleProbe};
+use fchain_metrics::MetricKind;
+use fchain_sim::{AppKind, FaultKind, RunConfig, RunRecord, Simulator, Workload as _};
+use serde_json::json;
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+/// Parses an application name.
+fn parse_app(name: &str) -> Result<AppKind, String> {
+    match name {
+        "rubis" => Ok(AppKind::Rubis),
+        "hadoop" => Ok(AppKind::Hadoop),
+        "systems" => Ok(AppKind::SystemS),
+        other => Err(format!(
+            "unknown app {other:?} (expected rubis, hadoop or systems)"
+        )),
+    }
+}
+
+/// Every fault kind with its wire name.
+const FAULTS: [(&str, FaultKind); 11] = [
+    ("memleak", FaultKind::MemLeak),
+    ("cpuhog", FaultKind::CpuHog),
+    ("nethog", FaultKind::NetHog),
+    ("diskhog", FaultKind::DiskHog),
+    ("bottleneck", FaultKind::Bottleneck),
+    ("offloadbug", FaultKind::OffloadBug),
+    ("lbbug", FaultKind::LbBug),
+    ("conc_memleak", FaultKind::ConcurrentMemLeak),
+    ("conc_cpuhog", FaultKind::ConcurrentCpuHog),
+    ("conc_diskhog", FaultKind::ConcurrentDiskHog),
+    ("workload_surge", FaultKind::WorkloadSurge),
+];
+
+/// Parses a fault name.
+fn parse_fault(name: &str) -> Result<FaultKind, String> {
+    FAULTS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|&(_, f)| f)
+        .ok_or_else(|| format!("unknown fault {name:?} (see `fchain list`)"))
+}
+
+/// Builds the run described by the common flags.
+fn build_run(args: &Args) -> Result<RunRecord, Box<dyn std::error::Error>> {
+    let app = parse_app(args.require("app")?)?;
+    let fault = parse_fault(args.require("fault")?)?;
+    let seed = args.get_parsed("seed", 42u64)?;
+    let duration = args.get_parsed("duration", 3600u64)?;
+    let mut cfg = RunConfig::new(app, fault, seed).with_duration(duration);
+    // --replay-csv <path>: drive the workload from a recorded
+    // `tick,intensity` trace instead of the synthetic generators.
+    if let Some(path) = args.get("replay-csv") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read replay trace {path:?}: {e}"))?;
+        let trace = fchain_sim::ReplayTrace::from_csv(&text)?;
+        let series: Vec<f64> = (0..duration).map(|t| trace.intensity(t)).collect();
+        cfg = cfg.with_workload_replay(series);
+    }
+    Ok(Simulator::new(cfg).run())
+}
+
+/// Default look-back for a fault (500 s for slow-manifesting ones).
+fn default_lookback(fault: FaultKind) -> u64 {
+    if fault.is_slow_manifesting() {
+        500
+    } else {
+        100
+    }
+}
+
+/// `fchain run` — simulate and summarize.
+pub fn run(args: &Args) -> CliResult {
+    let run = build_run(args)?;
+    let json_out = args.has("json");
+    if json_out {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&json!({
+                "app": run.model.kind.name(),
+                "fault": run.fault.kind.name(),
+                "targets": run.fault.targets,
+                "fault_start": run.fault.start,
+                "violation_at": run.violation_at,
+                "components": run.model.components.iter().map(|c| &c.name).collect::<Vec<_>>(),
+                "packets": run.packets.len(),
+            }))?
+        );
+        return Ok(());
+    }
+    println!(
+        "app {} | fault {} at {:?} | injected t={}",
+        run.model.kind,
+        run.fault.kind,
+        run.fault
+            .targets
+            .iter()
+            .map(|c| run.model.components[c.index()].name.clone())
+            .collect::<Vec<_>>(),
+        run.fault.start
+    );
+    match run.violation_at {
+        Some(t_v) => println!("SLO violated at t={t_v} ({} s after injection)", t_v - run.fault.start),
+        None => println!("SLO never violated"),
+    }
+    println!("\nper-component means before/after injection:");
+    let t_f = run.fault.start;
+    for (i, spec) in run.model.components.iter().enumerate() {
+        let id = fchain_metrics::ComponentId(i as u32);
+        let cells: Vec<String> = [MetricKind::Cpu, MetricKind::Memory, MetricKind::NetIn]
+            .iter()
+            .map(|&kind| {
+                let ts = run.metric(id, kind);
+                let before = mean(ts.window(t_f.saturating_sub(120), t_f.saturating_sub(1)));
+                let after = mean(ts.window(t_f, t_f + 120));
+                format!("{kind}: {before:>7.1} -> {after:>7.1}")
+            })
+            .collect();
+        println!("  {:<8} {}", spec.name, cells.join("  "));
+    }
+    Ok(())
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// `fchain diagnose` — run FChain on one simulated violation.
+pub fn diagnose(args: &Args) -> CliResult {
+    let run = build_run(args)?;
+    let fault = run.fault.kind;
+    let lookback = args.get_parsed("lookback", default_lookback(fault))?;
+    let Some(case) = case_from_run(&run, lookback) else {
+        return Err("the SLO never fired; nothing to diagnose (try another seed)".into());
+    };
+    let fchain = FChain::default();
+    let report = if args.has("validate") {
+        let mut probe = OracleProbe::new(&run.oracle);
+        fchain.diagnose_validated(&case, &mut probe)
+    } else {
+        fchain.diagnose(&case)
+    };
+
+    if args.has("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&json!({
+                "verdict": format!("{:?}", report.verdict),
+                "pinpointed": report.pinpointed,
+                "removed_by_validation": report.removed_by_validation,
+                "truth": run.fault.targets,
+                "chain": report.propagation_chain().iter().map(|(c, t)| json!({
+                    "component": run.model.components[c.index()].name,
+                    "onset": t,
+                })).collect::<Vec<_>>(),
+            }))?
+        );
+        return Ok(());
+    }
+
+    println!(
+        "fault {} injected t={} at {:?}; SLO violated t={}",
+        fault,
+        run.fault.start,
+        run.fault
+            .targets
+            .iter()
+            .map(|c| run.model.components[c.index()].name.clone())
+            .collect::<Vec<_>>(),
+        case.violation_at
+    );
+    println!("\nabnormal change propagation chain (W={lookback}):");
+    for (c, onset) in report.propagation_chain() {
+        let name = &run.model.components[c.index()].name;
+        let mark = if run.fault.targets.contains(&c) {
+            "  <- truly faulty"
+        } else {
+            ""
+        };
+        println!("  t={onset:>6}  {name}{mark}");
+    }
+    match report.verdict {
+        Verdict::Faulty => {
+            println!("\npinpointed:");
+            for c in &report.pinpointed {
+                println!("  {} ({})", c, run.model.components[c.index()].name);
+            }
+            if !report.removed_by_validation.is_empty() {
+                println!("removed by online validation: {:?}", report.removed_by_validation);
+            }
+        }
+        Verdict::ExternalFactor(trend) => {
+            println!("\nexternal factor inferred ({trend:?} trend everywhere); no component blamed")
+        }
+        Verdict::NoAnomaly => println!("\nno abnormal change found in any component"),
+    }
+    let correct = report.pinpointed == run.fault.targets;
+    println!(
+        "\nground truth: {:?} -> {}",
+        run.fault.targets,
+        if correct { "CORRECT" } else { "incorrect" }
+    );
+    Ok(())
+}
+
+/// `fchain compare` — campaign across all schemes.
+pub fn compare(args: &Args) -> CliResult {
+    let app = parse_app(args.require("app")?)?;
+    let fault = parse_fault(args.require("fault")?)?;
+    let runs = args.get_parsed("runs", 30usize)?;
+    let base_seed = args.get_parsed("seed", 1000u64)?;
+    let lookback = args.get_parsed("lookback", default_lookback(fault))?;
+    let campaign = Campaign {
+        app,
+        fault,
+        runs,
+        base_seed,
+        duration: args.get_parsed("duration", 3600u64)?,
+        lookback,
+    };
+    let fchain = FChain::default();
+    let histogram = HistogramScheme::new(args.get_parsed("histogram-threshold", 0.2)?);
+    let netmedic = NetMedic::new(args.get_parsed("netmedic-delta", 0.1)?);
+    let topology = TopologyScheme::default();
+    let dependency = DependencyScheme::default();
+    let pal = Pal::default();
+    let schemes: Vec<&(dyn Localizer + Sync)> =
+        vec![&fchain, &histogram, &netmedic, &topology, &dependency, &pal];
+    let results = campaign.evaluate(&schemes);
+    print!(
+        "{}",
+        render::campaign_block(
+            &format!("{app} / {fault} ({runs} runs, W={lookback})"),
+            &results
+        )
+    );
+    Ok(())
+}
+
+/// `fchain surge` — external-factor detection demo.
+pub fn surge(args: &Args) -> CliResult {
+    let app = parse_app(args.get("app").unwrap_or("rubis"))?;
+    let base_seed = args.get_parsed("seed", 1u64)?;
+    let runs = args.get_parsed("runs", 10usize)?;
+    let fchain = FChain::default();
+    let mut external = 0;
+    let mut blamed = 0;
+    let mut silent = 0;
+    for i in 0..runs {
+        let cfg = RunConfig::new(app, FaultKind::WorkloadSurge, base_seed + i as u64);
+        let run = Simulator::new(cfg).run();
+        let Some(case) = case_from_run(&run, 100) else {
+            silent += 1;
+            continue;
+        };
+        match fchain.diagnose(&case).verdict {
+            Verdict::ExternalFactor(_) => external += 1,
+            Verdict::NoAnomaly => silent += 1,
+            Verdict::Faulty => blamed += 1,
+        }
+    }
+    println!(
+        "workload surge on {app}, {runs} runs: external-factor verdicts {external}, \
+         silent {silent}, components wrongly blamed {blamed}"
+    );
+    println!(
+        "-> {}/{runs} runs correctly blame no component",
+        external + silent
+    );
+    Ok(())
+}
+
+/// `fchain list` — inventory.
+pub fn list() -> CliResult {
+    println!("applications:");
+    println!("  rubis    RUBiS three-tier online auction (web, app1, app2, db)");
+    println!("  hadoop   Hadoop sort (3 map + 6 reduce nodes)");
+    println!("  systems  IBM System S stream pipeline (PE1..PE7)");
+    println!("\nfaults:");
+    for (name, fault) in FAULTS {
+        let apps: Vec<&str> = [AppKind::Rubis, AppKind::Hadoop, AppKind::SystemS]
+            .iter()
+            .filter(|&&a| fault_defined(a, fault))
+            .map(|a| a.name())
+            .collect();
+        println!("  {name:<15} [{}]", apps.join(", "));
+    }
+    println!("\nschemes: FChain, Histogram, NetMedic, Topology, Dependency, PAL, Fixed-Filtering");
+    Ok(())
+}
+
+/// Whether a (app, fault) combination is defined by the paper.
+fn fault_defined(app: AppKind, fault: FaultKind) -> bool {
+    use FaultKind::*;
+    matches!(
+        (app, fault),
+        (_, WorkloadSurge)
+            | (AppKind::Rubis, MemLeak | CpuHog | NetHog | OffloadBug | LbBug)
+            | (AppKind::SystemS, MemLeak | CpuHog | Bottleneck | ConcurrentMemLeak | ConcurrentCpuHog)
+            | (AppKind::Hadoop, ConcurrentMemLeak | ConcurrentCpuHog | ConcurrentDiskHog)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn app_and_fault_parsing() {
+        assert_eq!(parse_app("rubis").unwrap(), AppKind::Rubis);
+        assert!(parse_app("nope").is_err());
+        assert_eq!(parse_fault("conc_cpuhog").unwrap(), FaultKind::ConcurrentCpuHog);
+        assert!(parse_fault("nope").is_err());
+    }
+
+    #[test]
+    fn every_fault_name_is_unique_and_roundtrips() {
+        for (name, fault) in FAULTS {
+            assert_eq!(fault.name(), name);
+            assert_eq!(parse_fault(name).unwrap(), fault);
+        }
+    }
+
+    #[test]
+    fn defined_combinations_match_the_paper() {
+        assert!(fault_defined(AppKind::Rubis, FaultKind::NetHog));
+        assert!(!fault_defined(AppKind::Hadoop, FaultKind::NetHog));
+        assert!(fault_defined(AppKind::Hadoop, FaultKind::ConcurrentDiskHog));
+        assert!(!fault_defined(AppKind::Rubis, FaultKind::Bottleneck));
+    }
+
+    #[test]
+    fn diagnose_command_end_to_end() {
+        let args = Args::parse([
+            "diagnose", "--app", "rubis", "--fault", "cpuhog", "--seed", "42", "--duration",
+            "1500", "--json",
+        ])
+        .unwrap();
+        diagnose(&args).expect("diagnose runs");
+    }
+
+    #[test]
+    fn replay_csv_drives_the_workload() {
+        let dir = std::env::temp_dir().join("fchain-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.csv");
+        let csv: String = (0..400u64)
+            .map(|t| format!("{t},{}\n", 0.3 + 0.4 * ((t % 60) as f64 / 60.0)))
+            .collect();
+        std::fs::write(&path, csv).unwrap();
+        let args = Args::parse([
+            "run",
+            "--app",
+            "rubis",
+            "--fault",
+            "cpuhog",
+            "--seed",
+            "5",
+            "--duration",
+            "800",
+            "--replay-csv",
+            path.to_str().unwrap(),
+            "--json",
+        ])
+        .unwrap();
+        run(&args).expect("replayed run");
+    }
+
+    #[test]
+    fn run_command_end_to_end() {
+        let args = Args::parse([
+            "run", "--app", "systems", "--fault", "bottleneck", "--seed", "3", "--duration",
+            "1200",
+        ])
+        .unwrap();
+        run(&args).expect("run runs");
+    }
+}

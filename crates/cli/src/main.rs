@@ -1,0 +1,70 @@
+//! `fchain` — simulate faulty cloud applications, diagnose them with
+//! FChain, and compare black-box localization schemes.
+//!
+//! ```text
+//! fchain run      --app rubis --fault cpuhog --seed 42 [--duration 3600] [--json]
+//! fchain diagnose --app rubis --fault memleak --seed 7 [--lookback 100] [--validate] [--json]
+//! fchain compare  --app systems --fault conc_memleak [--runs 30] [--lookback 100]
+//! fchain surge    --app rubis [--seed 1] [--runs 10]
+//! fchain list
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+fchain — black-box online fault localization (FChain, ICDCS 2013 reproduction)
+
+USAGE:
+    fchain <COMMAND> [FLAGS]
+
+COMMANDS:
+    run       simulate one faulty application run and summarize it
+    diagnose  simulate a run and let FChain pinpoint the faulty component(s)
+    compare   score FChain against the baseline schemes over a campaign
+    surge     demonstrate external-factor (workload change) detection
+    list      print the available applications, faults and schemes
+
+COMMON FLAGS:
+    --app <rubis|hadoop|systems>    application model
+    --fault <NAME>                  fault to inject (see `fchain list`)
+    --seed <N>                      run seed (default 42)
+    --duration <TICKS>              run length (default 3600)
+    --lookback <W>                  look-back window (default per fault)
+    --runs <N>                      campaign size (default 30)
+    --validate                      also run online pinpointing validation
+    --replay-csv <PATH>             replay a recorded `tick,intensity` workload
+    --json                          machine-readable output
+";
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.command.as_deref() {
+        Some("run") => commands::run(&args),
+        Some("diagnose") => commands::diagnose(&args),
+        Some("compare") => commands::compare(&args),
+        Some("surge") => commands::surge(&args),
+        Some("list") => commands::list(),
+        Some("help") | None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\nrun `fchain help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}

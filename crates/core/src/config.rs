@@ -1,0 +1,162 @@
+//! FChain configuration.
+
+use fchain_detect::{CusumConfig, OutlierConfig};
+use fchain_model::LearnerConfig;
+use serde::{Deserialize, Serialize};
+
+/// All knobs of the FChain system, with the defaults the paper reports
+/// working across every tested application (§III.A): look-back window
+/// `W = 100 s`, burst window `Q = 20 s`, top 90 % frequencies, 90th
+/// percentile burst value, 2 s concurrency threshold, tangent closeness
+/// 0.1.
+///
+/// # Examples
+///
+/// ```
+/// use fchain_core::FChainConfig;
+///
+/// let cfg = FChainConfig::default();
+/// assert_eq!(cfg.lookback, 100);
+/// assert_eq!(cfg.concurrency_threshold, 2);
+/// let long = FChainConfig::with_lookback(500);
+/// assert_eq!(long.lookback, 500);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FChainConfig {
+    /// Look-back window `W` in ticks: how far before the SLO violation the
+    /// slaves search for abnormal change points.
+    pub lookback: u64,
+    /// Burst extraction half-window `Q` in ticks around each change point.
+    pub burst_window: u64,
+    /// Fraction of the frequency spectrum treated as "high" when
+    /// synthesizing the burst signal (`0.9` = top 90 %).
+    pub high_freq_fraction: f64,
+    /// Percentile of the absolute burst signal used as the expected
+    /// prediction error.
+    pub burst_percentile: f64,
+    /// Safety multiplier applied to the burst magnitude when forming the
+    /// expected prediction error (normal burst *peaks* exceed the burst
+    /// percentile; the multiplier keeps them under the threshold).
+    pub burst_scale: f64,
+    /// The expected prediction error is floored at this multiple of the
+    /// model's typical (90th percentile) error over the pre-window normal
+    /// period, so noise on very stable metrics never qualifies.
+    pub error_floor_scale: f64,
+    /// Onset-time difference (ticks) under which two components count as
+    /// concurrent faults.
+    pub concurrency_threshold: u64,
+    /// Two adjacent change points with normalized tangent difference below
+    /// this keep the rollback going.
+    pub tangent_epsilon: f64,
+    /// Half-width of the moving-average smoothing applied before change
+    /// point detection (PAL-style).
+    pub smoothing_half: usize,
+    /// Timing slack (ticks) when looking up the prediction error at a
+    /// change point.
+    pub error_slack: u64,
+    /// Fraction of components that must be abnormal (with one consistent
+    /// trend and near-simultaneous onsets) before an external factor is
+    /// inferred. The paper requires all components; a slightly lower
+    /// quorum tolerates one component whose change the selection missed.
+    pub external_quorum: f64,
+    /// Adaptive look-back (paper §III.F, listed as ongoing work): when the
+    /// earliest abnormal onset lands at the very start of the window —
+    /// suggesting the manifestation predates it — the master re-runs the
+    /// analysis with a longer window instead of requiring the operator to
+    /// know the fault's speed in advance.
+    pub adaptive_lookback: bool,
+    /// Adaptive smoothing (paper §III.C, listed as ongoing work): choose
+    /// the smoothing width per metric from its noise profile instead of a
+    /// fixed half-width, so clean signals keep sharp onsets while jittery
+    /// ones still get denoised.
+    pub adaptive_smoothing: bool,
+    /// Online learner configuration (quantization, decay).
+    pub learner: LearnerConfig,
+    /// CUSUM + bootstrap configuration.
+    pub cusum: CusumConfig,
+    /// Magnitude-outlier filter configuration.
+    pub outlier: OutlierConfig,
+}
+
+impl Default for FChainConfig {
+    fn default() -> Self {
+        FChainConfig {
+            lookback: 100,
+            burst_window: 20,
+            high_freq_fraction: 0.9,
+            burst_percentile: 90.0,
+            burst_scale: 3.0,
+            error_floor_scale: 2.5,
+            concurrency_threshold: 2,
+            tangent_epsilon: 0.1,
+            smoothing_half: 2,
+            error_slack: 5,
+            external_quorum: 0.75,
+            adaptive_lookback: false,
+            adaptive_smoothing: false,
+            learner: LearnerConfig::default(),
+            cusum: CusumConfig::default(),
+            outlier: OutlierConfig::default(),
+        }
+    }
+}
+
+impl FChainConfig {
+    /// The default configuration with a different look-back window (the
+    /// paper uses `W = 500` for the slow-manifesting DiskHog fault).
+    pub fn with_lookback(lookback: u64) -> Self {
+        FChainConfig {
+            lookback,
+            ..FChainConfig::default()
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonsensical values (zero windows, out-of-range fractions).
+    pub fn validate(&self) {
+        assert!(self.lookback >= 10, "lookback must be at least 10 ticks");
+        assert!(self.burst_window >= 2, "burst window too small");
+        assert!(
+            (0.0..=1.0).contains(&self.high_freq_fraction),
+            "high_freq_fraction must be in [0, 1]"
+        );
+        assert!(
+            (0.0..=100.0).contains(&self.burst_percentile),
+            "burst_percentile must be in [0, 100]"
+        );
+        assert!(self.tangent_epsilon > 0.0, "tangent_epsilon must be positive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = FChainConfig::default();
+        assert_eq!(c.lookback, 100);
+        assert_eq!(c.burst_window, 20);
+        assert_eq!(c.high_freq_fraction, 0.9);
+        assert_eq!(c.burst_percentile, 90.0);
+        assert_eq!(c.concurrency_threshold, 2);
+        assert_eq!(c.tangent_epsilon, 0.1);
+        c.validate();
+    }
+
+    #[test]
+    fn with_lookback_overrides_only_w() {
+        let c = FChainConfig::with_lookback(300);
+        assert_eq!(c.lookback, 300);
+        assert_eq!(c.burst_window, FChainConfig::default().burst_window);
+    }
+
+    #[test]
+    #[should_panic(expected = "lookback")]
+    fn tiny_lookback_rejected() {
+        FChainConfig::with_lookback(5).validate();
+    }
+}

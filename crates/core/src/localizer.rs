@@ -1,0 +1,47 @@
+//! The common interface every fault-localization scheme implements.
+
+use crate::CaseData;
+use fchain_metrics::ComponentId;
+
+/// A black-box fault localizer: given a diagnosis case (metric histories up
+/// to the SLO violation plus optional structural knowledge), name the
+/// faulty component(s).
+///
+/// FChain implements this, and so does every baseline scheme of the
+/// paper's §III.A (Histogram, NetMedic, Topology, Dependency, PAL,
+/// Fixed-Filtering), which is what lets the evaluation harness sweep them
+/// uniformly over the same runs.
+pub trait Localizer: std::fmt::Debug {
+    /// Scheme name as it appears in result tables.
+    fn name(&self) -> &str;
+
+    /// Pinpoints the faulty components for a case. An empty vector means
+    /// "no component blamed" (either no anomaly found or an external
+    /// factor inferred).
+    fn localize(&self, case: &CaseData) -> Vec<ComponentId>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The trait must stay object-safe — the harness stores schemes as
+    /// `Box<dyn Localizer>`.
+    #[derive(Debug)]
+    struct Fixed(Vec<ComponentId>);
+
+    impl Localizer for Fixed {
+        fn name(&self) -> &str {
+            "fixed"
+        }
+        fn localize(&self, _case: &CaseData) -> Vec<ComponentId> {
+            self.0.clone()
+        }
+    }
+
+    #[test]
+    fn object_safety() {
+        let boxed: Box<dyn Localizer> = Box::new(Fixed(vec![ComponentId(1)]));
+        assert_eq!(boxed.name(), "fixed");
+    }
+}

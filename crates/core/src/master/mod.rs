@@ -1,0 +1,14 @@
+//! FChain master modules: integrated fault diagnosis and online
+//! pinpointing validation (paper §II.A, §II.C).
+//!
+//! The master runs on a dedicated server. When the application's SLO is
+//! violated it collects every slave's abnormal change findings, derives
+//! the abnormal change propagation pattern by sorting onset times,
+//! pinpoints the culprit component(s), and optionally validates each
+//! pinpointing by scaling the implicated resource and watching the SLO.
+
+pub mod orchestrator;
+pub mod pinpoint;
+pub mod validation;
+
+pub use orchestrator::Master;

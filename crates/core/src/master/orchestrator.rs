@@ -1,0 +1,228 @@
+//! The FChain master: the Fig. 1 deployment wired together.
+//!
+//! "FChain is decentralized consisting of a set of slave modules ... and
+//! master modules ... The slave modules run inside the domain 0 of
+//! different cloud nodes while the master modules run on dedicated
+//! servers. ... When a performance anomaly is detected, the FChain master
+//! is invoked ... The FChain master first contacts the slaves on all
+//! related distributed hosts."
+//!
+//! [`Master`] holds one [`SlaveDaemon`] handle per cloud node plus the
+//! offline-discovered dependency graph, and turns an SLO-violation
+//! notification into a [`DiagnosisReport`] by collecting every slave's
+//! findings and running the integrated pinpointing (optionally followed by
+//! online validation).
+
+use crate::config::FChainConfig;
+use crate::master::pinpoint::{pinpoint, PinpointInput};
+use crate::master::validation::{validate_pinpointing, ValidationProbe};
+use crate::report::{ComponentFinding, DiagnosisReport};
+use crate::slave::SlaveDaemon;
+use fchain_deps::DependencyGraph;
+use fchain_metrics::Tick;
+use std::sync::Arc;
+
+/// The master module coordinating per-host slave daemons.
+///
+/// # Examples
+///
+/// ```
+/// use fchain_core::master::Master;
+/// use fchain_core::slave::{MetricSample, SlaveDaemon};
+/// use fchain_core::FChainConfig;
+/// use fchain_metrics::{ComponentId, MetricKind};
+/// use std::sync::Arc;
+///
+/// let slave = Arc::new(SlaveDaemon::new(FChainConfig::default()));
+/// let mut master = Master::new(FChainConfig::default());
+/// master.register_slave(Arc::clone(&slave));
+///
+/// // The slave monitors one component whose CPU jumps at t = 940.
+/// for t in 0..1000u64 {
+///     for kind in MetricKind::ALL {
+///         let normal = 40.0 + ((t * (kind.index() as u64 + 2)) % 5) as f64;
+///         let value = if kind == MetricKind::Cpu && t >= 940 { normal + 50.0 } else { normal };
+///         slave.ingest(MetricSample { tick: t, component: ComponentId(0), kind, value });
+///     }
+/// }
+/// let report = master.on_violation(990);
+/// assert_eq!(report.pinpointed, vec![ComponentId(0)]);
+/// ```
+#[derive(Debug)]
+pub struct Master {
+    config: FChainConfig,
+    slaves: Vec<Arc<SlaveDaemon>>,
+    dependencies: Option<DependencyGraph>,
+}
+
+impl Master {
+    /// Creates a master with no slaves registered yet.
+    pub fn new(config: FChainConfig) -> Self {
+        config.validate();
+        Master {
+            config,
+            slaves: Vec::new(),
+            dependencies: None,
+        }
+    }
+
+    /// Registers the slave daemon of one cloud node.
+    pub fn register_slave(&mut self, slave: Arc<SlaveDaemon>) {
+        self.slaves.push(slave);
+    }
+
+    /// Number of registered slaves.
+    pub fn slave_count(&self) -> usize {
+        self.slaves.len()
+    }
+
+    /// Installs the dependency graph produced by offline black-box
+    /// discovery ("we perform the dependency discovery offline and store
+    /// the results in a file for later reference", §II.C footnote).
+    pub fn set_dependencies(&mut self, deps: DependencyGraph) {
+        self.dependencies = Some(deps);
+    }
+
+    /// Collects every slave's abnormal-change findings for the look-back
+    /// window ending at `violation_at`.
+    pub fn collect_findings(&self, violation_at: Tick) -> Vec<ComponentFinding> {
+        // In deployment this fans out over the network and the slaves
+        // compute in parallel ("FChain also distributes the change point
+        // computation load on different hosts", §III.G); here the fan-out
+        // is a loop over daemon handles.
+        let mut findings: Vec<ComponentFinding> = self
+            .slaves
+            .iter()
+            .flat_map(|s| s.analyze_all(violation_at))
+            .collect();
+        findings.sort_by_key(|f| f.id);
+        findings.dedup_by_key(|f| f.id);
+        findings
+    }
+
+    /// Full diagnosis on an SLO violation.
+    pub fn on_violation(&self, violation_at: Tick) -> DiagnosisReport {
+        let findings = self.collect_findings(violation_at);
+        let (verdict, pinpointed) = pinpoint(&PinpointInput {
+            findings: &findings,
+            dependencies: self.dependencies.as_ref(),
+            concurrency_threshold: self.config.concurrency_threshold,
+            external_quorum: self.config.external_quorum,
+        });
+        DiagnosisReport {
+            verdict,
+            pinpointed,
+            findings,
+            removed_by_validation: Vec::new(),
+        }
+    }
+
+    /// Diagnosis followed by online pinpointing validation.
+    pub fn on_violation_validated(
+        &self,
+        violation_at: Tick,
+        probe: &mut dyn ValidationProbe,
+    ) -> DiagnosisReport {
+        let mut report = self.on_violation(violation_at);
+        validate_pinpointing(&mut report, probe, 2);
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slave::MetricSample;
+    use fchain_metrics::{ComponentId, MetricKind};
+
+    /// Feeds `n` ticks of component `c` into `slave`, stepping CPU at
+    /// `fault_at` if given.
+    fn feed(slave: &SlaveDaemon, c: u32, n: u64, fault_at: Option<u64>) {
+        for t in 0..n {
+            for kind in MetricKind::ALL {
+                let normal = 40.0 + ((t * (kind.index() as u64 + 2)) % 5) as f64;
+                let value = match fault_at {
+                    Some(at) if kind == MetricKind::Cpu && t >= at => normal + 50.0,
+                    _ => normal,
+                };
+                slave.ingest(MetricSample {
+                    tick: t,
+                    component: ComponentId(c),
+                    kind,
+                    value,
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn master_merges_findings_across_hosts() {
+        // Two hosts, two components each; the fault is on host 2.
+        let host1 = Arc::new(SlaveDaemon::new(FChainConfig::default()));
+        let host2 = Arc::new(SlaveDaemon::new(FChainConfig::default()));
+        feed(&host1, 0, 1000, None);
+        feed(&host1, 1, 1000, None);
+        feed(&host2, 2, 1000, Some(940));
+        feed(&host2, 3, 1000, None);
+
+        let mut master = Master::new(FChainConfig::default());
+        master.register_slave(host1);
+        master.register_slave(host2);
+        assert_eq!(master.slave_count(), 2);
+
+        let report = master.on_violation(990);
+        assert_eq!(report.pinpointed, vec![ComponentId(2)]);
+        assert_eq!(report.findings.len(), 4);
+    }
+
+    #[test]
+    fn master_with_no_slaves_reports_no_anomaly() {
+        let master = Master::new(FChainConfig::default());
+        let report = master.on_violation(100);
+        assert_eq!(report.verdict, crate::Verdict::NoAnomaly);
+    }
+
+    #[test]
+    fn dependency_graph_enables_sibling_rescue() {
+        // Components 0 and 1 are independent (no dependency between
+        // them); both step, 1 slightly later — without the graph only the
+        // earliest is pinpointed, with it both are.
+        let slave = Arc::new(SlaveDaemon::new(FChainConfig::default()));
+        feed(&slave, 0, 1000, Some(930));
+        feed(&slave, 1, 1000, Some(938));
+        feed(&slave, 2, 1000, None);
+
+        let mut bare = Master::new(FChainConfig::default());
+        bare.register_slave(Arc::clone(&slave));
+        let without = bare.on_violation(990);
+        assert_eq!(without.pinpointed, vec![ComponentId(0)]);
+
+        let mut deps = DependencyGraph::new();
+        deps.add_edge(ComponentId(0), ComponentId(2));
+        deps.add_edge(ComponentId(1), ComponentId(2));
+        bare.set_dependencies(deps);
+        let with = bare.on_violation(990);
+        assert_eq!(with.pinpointed, vec![ComponentId(0), ComponentId(1)]);
+    }
+
+    #[test]
+    fn validated_diagnosis_drops_unconfirmed_components() {
+        #[derive(Debug)]
+        struct ApproveOnly(ComponentId);
+        impl ValidationProbe for ApproveOnly {
+            fn scale_and_observe(&mut self, c: ComponentId, _m: MetricKind) -> bool {
+                c == self.0
+            }
+        }
+        let slave = Arc::new(SlaveDaemon::new(FChainConfig::default()));
+        feed(&slave, 0, 1000, Some(940));
+        feed(&slave, 1, 1000, Some(941));
+        feed(&slave, 2, 1000, None); // a normal component: not an external factor
+        let mut master = Master::new(FChainConfig::default());
+        master.register_slave(slave);
+        let report =
+            master.on_violation_validated(990, &mut ApproveOnly(ComponentId(1)));
+        assert_eq!(report.pinpointed, vec![ComponentId(1)]);
+        assert_eq!(report.removed_by_validation, vec![ComponentId(0)]);
+    }
+}

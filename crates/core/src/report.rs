@@ -1,0 +1,193 @@
+//! Diagnosis outputs.
+
+use fchain_detect::Trend;
+use fchain_metrics::{ComponentId, MetricKind, Tick};
+use serde::{Deserialize, Serialize};
+
+/// One abnormal change selected on one metric of one component.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AbnormalChange {
+    /// Which metric changed abnormally.
+    pub metric: MetricKind,
+    /// Tick of the selected abnormal change point.
+    pub change_at: Tick,
+    /// Tick of the change *onset* after tangent-based rollback.
+    pub onset: Tick,
+    /// Real prediction error at the change point.
+    pub prediction_error: f64,
+    /// Burst-adaptive expected prediction error (the threshold it beat).
+    pub expected_error: f64,
+    /// Shift direction.
+    pub direction: Trend,
+}
+
+/// Per-component result of the slave's abnormal change point selection.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ComponentFinding {
+    /// The component.
+    pub id: ComponentId,
+    /// All abnormal changes found across metrics (may be empty).
+    pub changes: Vec<AbnormalChange>,
+}
+
+impl ComponentFinding {
+    /// The component's abnormal-change start time: the earliest onset over
+    /// all abnormal metrics (paper §II.B), or `None` if the component is
+    /// normal.
+    pub fn onset(&self) -> Option<Tick> {
+        self.changes.iter().map(|c| c.onset).min()
+    }
+
+    /// The component's consensus trend: `Some` only when **all** its
+    /// abnormal changes share one direction. Mixed directions (CPU up,
+    /// throughput down — the typical fault signature) return `None`, so a
+    /// genuinely faulty application is never mistaken for an external
+    /// factor just because each component's earliest change points the
+    /// same way.
+    pub fn trend(&self) -> Option<Trend> {
+        let mut iter = self.changes.iter().map(|c| c.direction);
+        let first = iter.next()?;
+        iter.all(|d| d == first).then_some(first)
+    }
+
+    /// Metrics that changed abnormally, strongest (largest error excess)
+    /// first — the candidates online validation scales.
+    pub fn abnormal_metrics(&self) -> Vec<MetricKind> {
+        let mut ms: Vec<&AbnormalChange> = self.changes.iter().collect();
+        ms.sort_by(|a, b| {
+            let ea = a.prediction_error - a.expected_error;
+            let eb = b.prediction_error - b.expected_error;
+            eb.partial_cmp(&ea).expect("finite errors")
+        });
+        let mut seen = Vec::new();
+        for c in ms {
+            if !seen.contains(&c.metric) {
+                seen.push(c.metric);
+            }
+        }
+        seen
+    }
+}
+
+/// What the integrated diagnosis concluded.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// One or more components were pinpointed as faulty.
+    Faulty,
+    /// Every component changed with the same trend: the anomaly is likely
+    /// an external factor (workload increase on `Trend::Up`, e.g. a shared
+    /// NFS problem on `Trend::Down`); no component is blamed (§II.C).
+    ExternalFactor(Trend),
+    /// No component showed any abnormal change.
+    NoAnomaly,
+}
+
+/// The complete output of one FChain diagnosis.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DiagnosisReport {
+    /// Overall conclusion.
+    pub verdict: Verdict,
+    /// Pinpointed faulty components (empty unless `verdict == Faulty`).
+    pub pinpointed: Vec<ComponentId>,
+    /// Per-component slave findings, for inspection.
+    pub findings: Vec<ComponentFinding>,
+    /// Components whose pinpointing was dropped by online validation
+    /// (empty when validation was not run).
+    pub removed_by_validation: Vec<ComponentId>,
+}
+
+impl DiagnosisReport {
+    /// The abnormal-change propagation chain: abnormal components sorted
+    /// by onset time (the paper's Fig. 2 / Fig. 5 view).
+    pub fn propagation_chain(&self) -> Vec<(ComponentId, Tick)> {
+        let mut chain: Vec<(ComponentId, Tick)> = self
+            .findings
+            .iter()
+            .filter_map(|f| f.onset().map(|o| (f.id, o)))
+            .collect();
+        chain.sort_by_key(|&(c, o)| (o, c));
+        chain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn change(metric: MetricKind, onset: Tick, err: f64, exp: f64) -> AbnormalChange {
+        AbnormalChange {
+            metric,
+            change_at: onset + 5,
+            onset,
+            prediction_error: err,
+            expected_error: exp,
+            direction: Trend::Up,
+        }
+    }
+
+    #[test]
+    fn onset_is_earliest_across_metrics() {
+        let f = ComponentFinding {
+            id: ComponentId(0),
+            changes: vec![
+                change(MetricKind::Cpu, 120, 10.0, 2.0),
+                change(MetricKind::Memory, 90, 50.0, 5.0),
+            ],
+        };
+        assert_eq!(f.onset(), Some(90));
+        assert_eq!(f.trend(), Some(Trend::Up));
+    }
+
+    #[test]
+    fn normal_component_has_no_onset() {
+        let f = ComponentFinding {
+            id: ComponentId(1),
+            changes: vec![],
+        };
+        assert_eq!(f.onset(), None);
+        assert_eq!(f.trend(), None);
+        assert!(f.abnormal_metrics().is_empty());
+    }
+
+    #[test]
+    fn abnormal_metrics_sorted_by_excess() {
+        let f = ComponentFinding {
+            id: ComponentId(0),
+            changes: vec![
+                change(MetricKind::Cpu, 100, 10.0, 8.0),    // excess 2
+                change(MetricKind::Memory, 100, 90.0, 5.0), // excess 85
+            ],
+        };
+        assert_eq!(
+            f.abnormal_metrics(),
+            vec![MetricKind::Memory, MetricKind::Cpu]
+        );
+    }
+
+    #[test]
+    fn propagation_chain_sorted_by_onset() {
+        let report = DiagnosisReport {
+            verdict: Verdict::Faulty,
+            pinpointed: vec![ComponentId(2)],
+            findings: vec![
+                ComponentFinding {
+                    id: ComponentId(0),
+                    changes: vec![change(MetricKind::Cpu, 150, 9.0, 1.0)],
+                },
+                ComponentFinding {
+                    id: ComponentId(2),
+                    changes: vec![change(MetricKind::Memory, 100, 9.0, 1.0)],
+                },
+                ComponentFinding {
+                    id: ComponentId(1),
+                    changes: vec![],
+                },
+            ],
+            removed_by_validation: vec![],
+        };
+        assert_eq!(
+            report.propagation_chain(),
+            vec![(ComponentId(2), 100), (ComponentId(0), 150)]
+        );
+    }
+}

@@ -1,0 +1,434 @@
+//! The continuously-running slave daemon.
+//!
+//! In deployment a slave runs inside Domain 0 of every cloud node,
+//! sampling each guest VM's six metrics once per second and keeping the
+//! online prediction models warm (paper Fig. 1). When the master reports
+//! an SLO violation it does **not** retrain anything — it already holds
+//! the causal prediction-error series and the recent sample history, and
+//! only the look-back window analysis runs on demand.
+//!
+//! [`SlaveDaemon`] is that incremental runtime: feed it one
+//! [`MetricSample`] per metric per tick, and ask for a component's
+//! [`ComponentFinding`] at any time. Memory is bounded (the paper reports
+//! a ~3 MB daemon footprint): per metric it keeps the learner, a bounded
+//! history ring and the matching error ring.
+
+use crate::config::FChainConfig;
+use crate::report::{AbnormalChange, ComponentFinding};
+use crate::slave::selection::select_abnormal_changes;
+use fchain_metrics::{ComponentId, MetricKind, RingBuffer, Tick};
+use fchain_model::OnlineLearner;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+/// Longest monitoring gap (ticks) bridged by carrying the last value
+/// forward; anything longer counts as an outage and the series restarts
+/// with a fresh calibration.
+const MAX_GAP_FILL: u64 = 30;
+
+/// One metric observation delivered to the daemon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricSample {
+    /// Sampling time.
+    pub tick: Tick,
+    /// Which component the sample belongs to.
+    pub component: ComponentId,
+    /// Which of the six attributes.
+    pub kind: MetricKind,
+    /// The sampled value.
+    pub value: f64,
+}
+
+/// Per-metric online state: the learner plus bounded recent history.
+#[derive(Debug)]
+struct MetricState {
+    learner: OnlineLearner,
+    values: RingBuffer,
+    errors: RingBuffer,
+    last_tick: Option<Tick>,
+}
+
+impl MetricState {
+    fn new(config: &FChainConfig, capacity: usize) -> Self {
+        MetricState {
+            learner: OnlineLearner::new(config.learner.clone()),
+            values: RingBuffer::new(capacity),
+            errors: RingBuffer::new(capacity),
+            last_tick: None,
+        }
+    }
+}
+
+/// The continuously-running per-host slave module.
+///
+/// Thread-safe: monitoring threads feed samples while the master thread
+/// may concurrently request an analysis (the paper's master contacts "the
+/// slaves on all related distributed hosts" after a violation).
+///
+/// # Examples
+///
+/// ```
+/// use fchain_core::slave::{MetricSample, SlaveDaemon};
+/// use fchain_core::FChainConfig;
+/// use fchain_metrics::{ComponentId, MetricKind};
+///
+/// let daemon = SlaveDaemon::new(FChainConfig::default());
+/// let c = ComponentId(0);
+/// for t in 0..1000u64 {
+///     for kind in MetricKind::ALL {
+///         let normal = 40.0 + ((t * (kind.index() as u64 + 2)) % 5) as f64;
+///         let value = if kind == MetricKind::Cpu && t >= 940 {
+///             normal + 50.0 // fault
+///         } else {
+///             normal
+///         };
+///         daemon.ingest(MetricSample { tick: t, component: c, kind, value });
+///     }
+/// }
+/// let finding = daemon.analyze(c, 990).expect("component is monitored");
+/// assert!(finding.onset().is_some(), "the CPU step must be selected");
+/// ```
+#[derive(Debug)]
+pub struct SlaveDaemon {
+    config: FChainConfig,
+    /// How many recent samples each metric retains.
+    capacity: usize,
+    states: Mutex<BTreeMap<(ComponentId, MetricKind), MetricState>>,
+}
+
+impl SlaveDaemon {
+    /// Creates a daemon retaining enough history for the configured
+    /// look-back window plus the model's normal-error span.
+    pub fn new(config: FChainConfig) -> Self {
+        config.validate();
+        // Look-back window + enough pre-window history for the adaptive
+        // error floor; capped to keep the footprint bounded.
+        let capacity = (config.lookback as usize * 8).clamp(600, 4000);
+        SlaveDaemon {
+            config,
+            capacity,
+            states: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Overrides the per-metric history capacity (samples).
+    ///
+    /// # Panics
+    ///
+    /// Panics if smaller than twice the look-back window (the analysis
+    /// needs pre-window context).
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        assert!(
+            capacity >= 2 * self.config.lookback as usize,
+            "capacity must cover at least twice the look-back window"
+        );
+        self.capacity = capacity;
+        self
+    }
+
+    /// The number of (component, metric) series currently monitored.
+    pub fn monitored_series(&self) -> usize {
+        self.states.lock().len()
+    }
+
+    /// Rough resident footprint of the daemon's state in bytes (rings +
+    /// model matrices). The paper reports ~3 MB per host daemon (§III.G);
+    /// this estimator makes the bound checkable in tests and dashboards.
+    pub fn approx_memory_bytes(&self) -> usize {
+        let states = self.states.lock();
+        let per_metric = 2 * self.capacity * std::mem::size_of::<f64>() // value+error rings
+            + {
+                let b = self.config.learner.bins;
+                (b * b + 2 * b) * std::mem::size_of::<f64>() // transition matrix + masses
+            };
+        states.len() * per_metric
+    }
+
+    /// Feeds one sample, updating the online model incrementally.
+    ///
+    /// Samples must arrive in non-decreasing tick order per metric;
+    /// out-of-order samples are dropped (monitoring pipelines may repeat
+    /// a tick on reconnect).
+    pub fn ingest(&self, sample: MetricSample) {
+        let mut states = self.states.lock();
+        let state = states
+            .entry((sample.component, sample.kind))
+            .or_insert_with(|| MetricState::new(&self.config, self.capacity));
+        if let Some(last) = state.last_tick {
+            if sample.tick <= last {
+                return;
+            }
+            // The ring-to-tick mapping assumes one sample per tick. Bridge
+            // short monitoring gaps by carrying the previous value forward;
+            // a long outage invalidates the learned alignment entirely, so
+            // the series restarts and recalibrates.
+            let gap = sample.tick - last - 1;
+            if gap > MAX_GAP_FILL {
+                *state = MetricState::new(&self.config, self.capacity);
+            } else if gap > 0 {
+                let carry = state.values.latest().unwrap_or(sample.value);
+                for _ in 0..gap {
+                    let error = state.learner.feed(carry);
+                    state.values.push(carry);
+                    state.errors.push(error);
+                }
+            }
+        }
+        let error = state.learner.feed(sample.value);
+        state.values.push(sample.value);
+        state.errors.push(error);
+        state.last_tick = Some(sample.tick);
+    }
+
+    /// Analyzes one component's look-back window `[t_v − W, t_v]` using
+    /// the continuously-maintained state. Returns `None` if the component
+    /// has never been monitored.
+    ///
+    /// Unlike the batch path ([`crate::slave::analyze_component`]) no
+    /// model training happens here — the errors were computed as the
+    /// samples arrived, which is what keeps the on-demand cost at the
+    /// "abnormal change point selection" line of Table II instead of the
+    /// "normal fluctuation modeling" line times the history length.
+    pub fn analyze(&self, component: ComponentId, violation_at: Tick) -> Option<ComponentFinding> {
+        let states = self.states.lock();
+        let mut changes: Vec<AbnormalChange> = Vec::new();
+        let mut seen = false;
+        for kind in MetricKind::ALL {
+            let Some(state) = states.get(&(component, kind)) else {
+                continue;
+            };
+            seen = true;
+            let Some(last) = state.last_tick else {
+                continue;
+            };
+            // Map the ring contents onto absolute ticks: the ring's final
+            // sample is at `last`. Samples after t_v are not part of the
+            // diagnosis (the master asks about the violation time).
+            if violation_at > last {
+                continue;
+            }
+            let drop_tail = (last - violation_at) as usize;
+            let values = state.values.to_vec();
+            let errors = state.errors.to_vec();
+            if values.len() <= drop_tail + 40 {
+                continue;
+            }
+            let hist = &values[..values.len() - drop_tail];
+            let errs = &errors[..errors.len() - drop_tail];
+            if let Some(change) = select_abnormal_changes(
+                hist,
+                errs,
+                kind,
+                violation_at,
+                self.config.lookback,
+                &self.config,
+            ) {
+                changes.push(change);
+            }
+        }
+        seen.then_some(ComponentFinding {
+            id: component,
+            changes,
+        })
+    }
+
+    /// Analyzes every monitored component (the whole host) at once.
+    pub fn analyze_all(&self, violation_at: Tick) -> Vec<ComponentFinding> {
+        let components: Vec<ComponentId> = {
+            let states = self.states.lock();
+            let mut ids: Vec<ComponentId> = states.keys().map(|&(c, _)| c).collect();
+            ids.dedup();
+            ids
+        };
+        components
+            .into_iter()
+            .filter_map(|c| self.analyze(c, violation_at))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed_component(daemon: &SlaveDaemon, c: ComponentId, n: u64, fault_at: Option<u64>) {
+        for t in 0..n {
+            for kind in MetricKind::ALL {
+                let normal = 40.0 + ((t * (kind.index() as u64 + 2)) % 5) as f64;
+                let value = match fault_at {
+                    Some(at) if kind == MetricKind::Cpu && t >= at => normal + 50.0,
+                    _ => normal,
+                };
+                daemon.ingest(MetricSample {
+                    tick: t,
+                    component: c,
+                    kind,
+                    value,
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_and_batch_agree_on_a_step() {
+        let daemon = SlaveDaemon::new(FChainConfig::default());
+        feed_component(&daemon, ComponentId(0), 1000, Some(940));
+        let finding = daemon.analyze(ComponentId(0), 990).expect("monitored");
+        let onset = finding.onset().expect("step selected");
+        assert!((935..=945).contains(&onset), "onset {onset}");
+    }
+
+    #[test]
+    fn normal_component_stays_clean() {
+        let daemon = SlaveDaemon::new(FChainConfig::default());
+        feed_component(&daemon, ComponentId(1), 1000, None);
+        let finding = daemon.analyze(ComponentId(1), 990).expect("monitored");
+        assert!(finding.changes.is_empty(), "{:?}", finding.changes);
+    }
+
+    #[test]
+    fn unknown_component_returns_none() {
+        let daemon = SlaveDaemon::new(FChainConfig::default());
+        assert!(daemon.analyze(ComponentId(9), 100).is_none());
+    }
+
+    #[test]
+    fn out_of_order_samples_are_dropped() {
+        let daemon = SlaveDaemon::new(FChainConfig::default());
+        let c = ComponentId(0);
+        let mk = |tick, value| MetricSample {
+            tick,
+            component: c,
+            kind: MetricKind::Cpu,
+            value,
+        };
+        daemon.ingest(mk(10, 1.0));
+        daemon.ingest(mk(9, 999.0)); // dropped
+        daemon.ingest(mk(10, 999.0)); // dropped
+        daemon.ingest(mk(11, 2.0));
+        assert_eq!(daemon.monitored_series(), 1);
+    }
+
+    #[test]
+    fn analyze_all_covers_every_component() {
+        let daemon = SlaveDaemon::new(FChainConfig::default());
+        feed_component(&daemon, ComponentId(0), 900, None);
+        feed_component(&daemon, ComponentId(1), 900, Some(850));
+        let findings = daemon.analyze_all(890);
+        assert_eq!(findings.len(), 2);
+        let faulty = findings.iter().find(|f| f.id == ComponentId(1)).unwrap();
+        assert!(faulty.onset().is_some());
+    }
+
+    #[test]
+    fn memory_stays_bounded() {
+        let daemon = SlaveDaemon::new(FChainConfig::default());
+        feed_component(&daemon, ComponentId(0), 20_000, None);
+        let states = daemon.states.lock();
+        for state in states.values() {
+            assert!(state.values.len() <= daemon.capacity);
+            assert!(state.errors.len() <= daemon.capacity);
+        }
+    }
+
+    #[test]
+    fn short_monitoring_gaps_keep_tick_alignment() {
+        let daemon = SlaveDaemon::new(FChainConfig::default());
+        let c = ComponentId(0);
+        for t in 0..1000u64 {
+            if (300..310).contains(&t) {
+                continue; // 10 dropped ticks mid-stream
+            }
+            for kind in MetricKind::ALL {
+                let normal = 40.0 + ((t * (kind.index() as u64 + 2)) % 5) as f64;
+                let value = if kind == MetricKind::Cpu && t >= 940 {
+                    normal + 50.0
+                } else {
+                    normal
+                };
+                daemon.ingest(MetricSample {
+                    tick: t,
+                    component: c,
+                    kind,
+                    value,
+                });
+            }
+        }
+        let finding = daemon.analyze(c, 990).expect("monitored");
+        let onset = finding.onset().expect("step still found after the gap");
+        assert!((935..=945).contains(&onset), "onset {onset} misaligned");
+    }
+
+    #[test]
+    fn long_outage_resets_the_series() {
+        let daemon = SlaveDaemon::new(FChainConfig::default());
+        let c = ComponentId(0);
+        let mk = |tick, value| MetricSample {
+            tick,
+            component: c,
+            kind: MetricKind::Cpu,
+            value,
+        };
+        for t in 0..200u64 {
+            daemon.ingest(mk(t, 40.0));
+        }
+        // 500-tick outage, then a resumed clean stream with a late step.
+        for t in 700..1700u64 {
+            daemon.ingest(mk(t, if t >= 1650 { 95.0 } else { 40.0 + (t % 5) as f64 }));
+        }
+        let finding = daemon.analyze(c, 1690).expect("monitored");
+        let onset = finding.onset().expect("step found after the reset");
+        assert!((1645..=1655).contains(&onset), "onset {onset}");
+    }
+
+    #[test]
+    fn footprint_matches_the_papers_order_of_magnitude() {
+        // Two guest VMs x six metrics on one host: the paper reports ~3 MB
+        // per host daemon.
+        let daemon = SlaveDaemon::new(FChainConfig::default());
+        feed_component(&daemon, ComponentId(0), 2000, None);
+        feed_component(&daemon, ComponentId(1), 2000, None);
+        let bytes = daemon.approx_memory_bytes();
+        assert!(bytes > 0);
+        assert!(bytes < 4 * 1024 * 1024, "daemon too heavy: {bytes} bytes");
+    }
+
+    #[test]
+    fn concurrent_ingest_and_analyze_are_safe() {
+        use std::sync::Arc;
+        let daemon = Arc::new(SlaveDaemon::new(FChainConfig::default()));
+        feed_component(&daemon, ComponentId(0), 900, Some(850));
+        let writer = {
+            let d = Arc::clone(&daemon);
+            std::thread::spawn(move || {
+                for t in 900..1400u64 {
+                    for kind in MetricKind::ALL {
+                        d.ingest(MetricSample {
+                            tick: t,
+                            component: ComponentId(0),
+                            kind,
+                            value: 40.0 + ((t * (kind.index() as u64 + 2)) % 5) as f64 + 50.0,
+                        });
+                    }
+                }
+            })
+        };
+        // The master thread analyzes while samples keep flowing.
+        let mut findings = 0;
+        for _ in 0..20 {
+            if let Some(f) = daemon.analyze(ComponentId(0), 890) {
+                if f.onset().is_some() {
+                    findings += 1;
+                }
+            }
+        }
+        writer.join().expect("writer thread");
+        assert!(findings > 0, "analysis under concurrent ingestion found nothing");
+    }
+
+    #[test]
+    #[should_panic(expected = "twice the look-back")]
+    fn tiny_capacity_rejected() {
+        let _ = SlaveDaemon::new(FChainConfig::default()).with_capacity(50);
+    }
+}

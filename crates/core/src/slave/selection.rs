@@ -1,0 +1,419 @@
+//! Predictability-based abnormal change point selection (paper §II.B).
+
+use crate::config::FChainConfig;
+use crate::report::{AbnormalChange, ComponentFinding};
+use crate::ComponentCase;
+use fchain_detect::{magnitude_outliers, ChangePoint, CusumDetector};
+use fchain_metrics::{fft, smooth, stats, MetricKind, Tick};
+use fchain_model::OnlineLearner;
+
+/// Analyzes one component: for each of its six metrics, detect change
+/// points in the look-back window, filter them down to abnormal ones, and
+/// roll each back to its onset.
+///
+/// The selection pipeline per metric:
+///
+/// 1. Train the online learner causally over the full history, producing a
+///    one-step-ahead prediction-error series (this is what the slave has
+///    been doing continuously in deployment).
+/// 2. Smooth the look-back window and run CUSUM + bootstrap change point
+///    detection, then the PAL-style magnitude-outlier filter.
+/// 3. For each surviving change point, synthesize its **expected
+///    prediction error** from the burstiness of the surrounding raw
+///    samples (FFT high-pass, high percentile of the burst signal) and
+///    compare against the real prediction error near the point. Only
+///    change points whose error exceeds the expectation are abnormal —
+///    normal workload bursts predictably produce errors *commensurate
+///    with* their own burstiness and are filtered.
+/// 4. Tangent-rollback the earliest abnormal change point to its onset.
+///
+/// # Examples
+///
+/// ```
+/// use fchain_core::{slave::analyze_component, ComponentCase, FChainConfig};
+/// use fchain_metrics::{ComponentId, MetricKind, TimeSeries};
+///
+/// // CPU jumps to unseen values at t = 900.
+/// let vals: Vec<f64> = (0..1000)
+///     .map(|t| if t < 900 { 30.0 + (t % 5) as f64 } else { 92.0 })
+///     .collect();
+/// let mut metrics: Vec<TimeSeries> =
+///     (0..6).map(|_| TimeSeries::from_samples(0, vec![1.0; 1000])).collect();
+/// metrics[MetricKind::Cpu.index()] = TimeSeries::from_samples(0, vals);
+/// let case = ComponentCase { id: ComponentId(0), name: "c".into(), metrics };
+/// let finding = analyze_component(&case, 950, 100, &FChainConfig::default());
+/// let onset = finding.onset().expect("abnormal change expected");
+/// assert!((895..=905).contains(&onset), "onset {onset}");
+/// ```
+pub fn analyze_component(
+    component: &ComponentCase,
+    violation_at: Tick,
+    lookback: u64,
+    config: &FChainConfig,
+) -> ComponentFinding {
+    let mut changes = Vec::new();
+
+    for kind in MetricKind::ALL {
+        let history = component.metric(kind);
+        let hist = history.window(history.start(), violation_at);
+        if hist.len() < (lookback as usize).min(40) {
+            continue;
+        }
+        // Monitoring pipelines occasionally emit NaN/Inf samples (divide-
+        // by-zero rates, counter wraps); carry the previous value forward
+        // so one bad sample cannot poison the statistics.
+        let sanitized: Vec<f64> = {
+            let mut prev = 0.0;
+            hist.iter()
+                .map(|&v| {
+                    if v.is_finite() {
+                        prev = v;
+                        v
+                    } else {
+                        prev
+                    }
+                })
+                .collect()
+        };
+        if let Some(change) = analyze_metric(&sanitized, kind, violation_at, lookback, config) {
+            changes.push(change);
+        }
+    }
+    ComponentFinding {
+        id: component.id,
+        changes,
+    }
+}
+
+/// Runs the selection pipeline on one metric history `[0, t_v]`. Returns
+/// the earliest abnormal change (rolled back to onset) if any.
+fn analyze_metric(
+    hist: &[f64],
+    kind: MetricKind,
+    violation_at: Tick,
+    lookback: u64,
+    config: &FChainConfig,
+) -> Option<AbnormalChange> {
+    // 1. Causal prediction errors over the full history (in deployment the
+    // slave daemon already holds these — see `SlaveDaemon`).
+    let mut learner = OnlineLearner::new(config.learner.clone());
+    let errors = learner.train_errors(hist);
+    select_abnormal_changes(hist, &errors, kind, violation_at, lookback, config)
+}
+
+/// The selection stages downstream of the online model: change point
+/// detection, outlier filtering, the predictability filter and rollback,
+/// given an already-computed causal prediction-error series aligned with
+/// `hist` (the last sample of both is at `violation_at`).
+pub(crate) fn select_abnormal_changes(
+    hist: &[f64],
+    errors: &[f64],
+    kind: MetricKind,
+    violation_at: Tick,
+    lookback: u64,
+    config: &FChainConfig,
+) -> Option<AbnormalChange> {
+    let detector = CusumDetector::new(config.cusum.clone());
+    let n = hist.len();
+    debug_assert_eq!(hist.len(), errors.len(), "errors must align with samples");
+
+    // Adaptive floor: the model's typical error during the pre-window
+    // period (skip the calibration prefix where errors are trivially 0).
+    let w = (lookback as usize).min(n.saturating_sub(1));
+    let normal_span_start = config.learner.calibration_samples.min(n.saturating_sub(1));
+    let normal_span_end = n.saturating_sub(w).max(normal_span_start + 1).min(n);
+    let normal_errors = &errors[normal_span_start..normal_span_end];
+    // Two floors: typical error (p90) scaled up, and the error *tail*
+    // (p99) with a smaller multiplier — rare-but-normal fluctuations (the
+    // tail of learnable bursts) must not qualify as abnormal.
+    let p90 = stats::percentile(normal_errors, 90.0).unwrap_or(0.0);
+    let p99 = stats::percentile(normal_errors, 99.0).unwrap_or(0.0);
+    // The strictest floor is empirical: an abnormal prediction error must
+    // exceed every error the model produced across the whole pre-window
+    // normal span — "the model has seen fluctuation this size before" is
+    // exactly what disqualifies a change point as abnormal.
+    let max_normal = stats::max(normal_errors).unwrap_or(0.0);
+    let error_floor = (config.error_floor_scale * p90)
+        .max(1.8 * p99)
+        .max(1.02 * max_normal)
+        .max(1e-9);
+
+    // 2. Change points on the smoothed look-back window.
+    let window_start = n - 1 - w;
+    let window_raw = &hist[window_start..];
+    let half = if config.adaptive_smoothing {
+        adaptive_half(window_raw, config.smoothing_half)
+    } else {
+        config.smoothing_half
+    };
+    let window_smooth = smooth::moving_average(window_raw, half);
+    let change_points = detector.detect(&window_smooth);
+    if change_points.is_empty() {
+        return None;
+    }
+    let outliers = magnitude_outliers(&change_points, &window_smooth, &config.outlier);
+
+    // 3. Predictability filter. The burst-adaptive expectation is anchored
+    // just before the *first* change point of the window: anything after it
+    // may already be fault manifestation, and a fault must not raise its
+    // own threshold.
+    let anchor = window_start + change_points[0].index;
+    // The window head is a second normal-context candidate: with long
+    // look-back windows the region before the first change point can
+    // itself be fault manifestation, while the window head is the most
+    // distant (most likely normal) context available. The quieter of the
+    // two gives the burstiness baseline; the error floor (learned from the
+    // whole normal history) guards against an unusually calm head.
+    let q2 = 2 * config.burst_window as usize;
+    let head_end = (window_start + q2).min(n - 1);
+    let head = fft::burst_magnitude(
+        &hist[window_start..=head_end],
+        config.high_freq_fraction,
+        config.burst_percentile,
+    ) * config.burst_scale;
+    let mut abnormal: Vec<(ChangePoint, f64, f64)> = Vec::new();
+    for cp in &outliers {
+        let abs_idx = window_start + cp.index;
+        let real = real_error(errors, abs_idx, config.error_slack as usize);
+        let expected = expected_error(hist, anchor, config).min(head).max(error_floor);
+        // A genuine regime change keeps surprising the model for several
+        // ticks; an isolated noise spike does not. Requiring sustained
+        // errors alongside the peak filters one-tick accidents.
+        let sus_hi = (abs_idx + 6).min(errors.len() - 1);
+        let sustained =
+            errors[abs_idx..=sus_hi].iter().sum::<f64>() / (sus_hi - abs_idx + 1) as f64;
+        if real > expected && sustained > 0.4 * expected {
+            abnormal.push((*cp, real, expected));
+        }
+    }
+    // 4. Earliest abnormal change point wins; roll it back to the onset.
+    let (cp, real, expected) = abnormal
+        .into_iter()
+        .min_by_key(|(cp, _, _)| cp.index)?;
+    let onset_idx = super::rollback::rollback_onset(
+        &window_smooth,
+        &change_points,
+        &cp,
+        config.tangent_epsilon,
+    );
+    let to_tick = |idx: usize| violation_at - (w as Tick) + idx as Tick;
+    Some(AbnormalChange {
+        metric: kind,
+        change_at: to_tick(cp.index),
+        onset: to_tick(onset_idx),
+        prediction_error: real,
+        expected_error: expected,
+        direction: cp.direction,
+    })
+}
+
+/// Chooses a smoothing half-width from the window's noise profile: the
+/// fraction of the signal's spread that lives in tick-to-tick jitter.
+/// Clean signals (gradual trends) keep `half = 1` so onsets stay sharp;
+/// jittery ones get up to `2 * base`.
+fn adaptive_half(window: &[f64], base: usize) -> usize {
+    let diffs: Vec<f64> = window.windows(2).map(|w| (w[1] - w[0]).abs()).collect();
+    let jitter = stats::percentile(&diffs, 50.0).unwrap_or(0.0);
+    let spread = stats::std_dev(window);
+    if spread <= f64::EPSILON {
+        return 1;
+    }
+    let ratio = jitter / spread;
+    if ratio > 0.5 {
+        (2 * base).max(1)
+    } else if ratio > 0.2 {
+        base.max(1)
+    } else {
+        1
+    }
+}
+
+/// The real prediction error near a change point: the maximum causal error
+/// in `[idx − 2, idx + slack]` — the change manifests *from* the change
+/// point onward (fast faults take a few ticks to saturate), while only a
+/// small backward allowance covers change-point placement jitter.
+fn real_error(errors: &[f64], idx: usize, slack: usize) -> f64 {
+    let lo = idx.saturating_sub(2);
+    let hi = (idx + slack).min(errors.len() - 1);
+    errors[lo..=hi].iter().copied().fold(0.0, f64::max)
+}
+
+/// The burst-adaptive expected prediction error for a change point: the
+/// configured percentile of the FFT-synthesized burst signal over the
+/// `2Q` raw samples *preceding* the point, times the safety multiplier.
+///
+/// The paper extracts the window surrounding the change point; here the
+/// window ends just before it, because the expected error must measure
+/// the burstiness of the *normal* behavior the change is judged against —
+/// a large fault inside the window would otherwise raise its own
+/// threshold and mask itself.
+fn expected_error(hist: &[f64], idx: usize, config: &FChainConfig) -> f64 {
+    let q = config.burst_window as usize;
+    // Change-point placement has a few ticks of jitter (smoothing blurs
+    // onsets); the guard keeps the first fault samples out of the
+    // "normal burstiness" window.
+    let guard = config.smoothing_half + 2;
+    let lo = idx.saturating_sub(2 * q + guard);
+    let hi = idx.saturating_sub(1 + guard).max(lo);
+    config.burst_scale
+        * fft::burst_magnitude(
+            &hist[lo..=hi.min(hist.len() - 1)],
+            config.high_freq_fraction,
+            config.burst_percentile,
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ComponentCase;
+    use fchain_metrics::{ComponentId, TimeSeries};
+
+    /// Builds a component whose CPU metric is `cpu` and whose other five
+    /// metrics are benign constants with light noise.
+    fn component(cpu: Vec<f64>) -> ComponentCase {
+        let n = cpu.len();
+        let mut metrics: Vec<TimeSeries> = (0..6)
+            .map(|k| {
+                TimeSeries::from_samples(
+                    0,
+                    (0..n).map(|t| 50.0 + ((t * (k + 3)) % 4) as f64).collect(),
+                )
+            })
+            .collect();
+        metrics[MetricKind::Cpu.index()] = TimeSeries::from_samples(0, cpu);
+        ComponentCase {
+            id: ComponentId(0),
+            name: "test".into(),
+            metrics,
+        }
+    }
+
+    fn periodic(n: usize) -> Vec<f64> {
+        (0..n).map(|t| 30.0 + 4.0 * ((t % 12) as f64 / 12.0) + ((t * 7) % 3) as f64).collect()
+    }
+
+    #[test]
+    fn normal_component_has_no_abnormal_changes() {
+        let c = component(periodic(1200));
+        let f = analyze_component(&c, 1150, 100, &FChainConfig::default());
+        assert!(f.changes.is_empty(), "false positives: {:?}", f.changes);
+    }
+
+    #[test]
+    fn step_fault_is_selected_with_onset() {
+        let mut cpu = periodic(1200);
+        for (t, v) in cpu.iter_mut().enumerate() {
+            if t >= 1100 {
+                *v += 55.0;
+            }
+        }
+        let c = component(cpu);
+        let f = analyze_component(&c, 1150, 100, &FChainConfig::default());
+        let onset = f.onset().expect("step must be selected");
+        assert!((1095..=1105).contains(&onset), "onset {onset}");
+        let cpu_changes: Vec<_> = f
+            .changes
+            .iter()
+            .filter(|ch| ch.metric == MetricKind::Cpu)
+            .collect();
+        assert_eq!(cpu_changes.len(), 1);
+        assert!(cpu_changes[0].prediction_error > cpu_changes[0].expected_error);
+    }
+
+    #[test]
+    fn gradual_ramp_rolls_back_to_start() {
+        // Memory-leak-style ramp into unseen territory starting at 1080.
+        let mut cpu = periodic(1200);
+        for (t, v) in cpu.iter_mut().enumerate() {
+            if t >= 1080 {
+                *v += (t - 1080) as f64 * 0.9;
+            }
+        }
+        let c = component(cpu);
+        let f = analyze_component(&c, 1150, 100, &FChainConfig::default());
+        let onset = f.onset().expect("ramp must be selected");
+        assert!(
+            (1070..=1100).contains(&onset),
+            "onset {onset} should be near the ramp start 1080"
+        );
+    }
+
+    #[test]
+    fn learned_bursty_metric_is_filtered() {
+        // A metric with frequent large normal bursts: the burst-adaptive
+        // threshold must suppress its change points.
+        let mut vals = Vec::with_capacity(1500);
+        for t in 0..1500usize {
+            let base = 500.0 + 80.0 * ((t % 20) as f64 / 20.0);
+            let burst = if (t * 2654435761) % 13 == 0 { 900.0 } else { 0.0 };
+            vals.push(base + burst);
+        }
+        let c = component(vals);
+        let f = analyze_component(&c, 1450, 100, &FChainConfig::default());
+        let cpu_changes: Vec<_> = f
+            .changes
+            .iter()
+            .filter(|ch| ch.metric == MetricKind::Cpu)
+            .collect();
+        assert!(
+            cpu_changes.is_empty(),
+            "normal bursts must be filtered: {cpu_changes:?}"
+        );
+    }
+
+    #[test]
+    fn non_finite_samples_do_not_poison_the_analysis() {
+        let mut cpu = periodic(1200);
+        cpu[500] = f64::NAN;
+        cpu[800] = f64::INFINITY;
+        for (t, v) in cpu.iter_mut().enumerate() {
+            if t >= 1100 && v.is_finite() {
+                *v += 55.0;
+            }
+        }
+        let c = component(cpu);
+        let f = analyze_component(&c, 1150, 100, &FChainConfig::default());
+        let onset = f.onset().expect("step still selected despite NaN/Inf");
+        assert!((1095..=1105).contains(&onset), "onset {onset}");
+    }
+
+    #[test]
+    fn short_history_is_skipped_gracefully() {
+        let c = component(periodic(30));
+        let f = analyze_component(&c, 25, 100, &FChainConfig::default());
+        assert!(f.changes.is_empty());
+    }
+
+    #[test]
+    fn fault_on_two_metrics_reports_both() {
+        let n = 1200;
+        let mut c = component({
+            let mut cpu = periodic(n);
+            for (t, v) in cpu.iter_mut().enumerate() {
+                if t >= 1100 {
+                    *v += 50.0;
+                }
+            }
+            cpu
+        });
+        // Also break the memory metric.
+        let mem: Vec<f64> = (0..n)
+            .map(|t| {
+                let base = 800.0 + ((t * 3) % 7) as f64;
+                if t >= 1102 {
+                    base + 400.0
+                } else {
+                    base
+                }
+            })
+            .collect();
+        c.metrics[MetricKind::Memory.index()] = TimeSeries::from_samples(0, mem);
+        let f = analyze_component(&c, 1150, 100, &FChainConfig::default());
+        let kinds: Vec<MetricKind> = f.changes.iter().map(|ch| ch.metric).collect();
+        assert!(kinds.contains(&MetricKind::Cpu), "{kinds:?}");
+        assert!(kinds.contains(&MetricKind::Memory), "{kinds:?}");
+        // Component onset is the earliest of the two.
+        assert!(f.onset().unwrap() <= 1102);
+    }
+}

@@ -1,0 +1,266 @@
+//! The inter-component dependency graph.
+
+use fchain_metrics::ComponentId;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A directed dependency graph over components.
+///
+/// An edge `a -> b` means *a depends on b*: `a` initiates requests that
+/// `b` serves (web → app → db in RUBiS; upstream PE → downstream PE in
+/// System S). Anomalies can travel along an edge in **either** direction —
+/// downstream with the requests, or upstream through back-pressure — so
+/// the propagation-plausibility query used by FChain's pinpointing is
+/// [`connected`](DependencyGraph::connected) (undirected reachability),
+/// while the topology-walking baselines use
+/// [`has_directed_path`](DependencyGraph::has_directed_path).
+///
+/// # Examples
+///
+/// ```
+/// use fchain_deps::DependencyGraph;
+/// use fchain_metrics::ComponentId;
+///
+/// let mut g = DependencyGraph::new();
+/// g.add_edge(ComponentId(0), ComponentId(1)); // web -> app1
+/// g.add_edge(ComponentId(0), ComponentId(2)); // web -> app2
+/// g.add_edge(ComponentId(1), ComponentId(3)); // app1 -> db
+/// // app1 and app2 are independent: no propagation between them...
+/// assert!(!g.has_directed_path(ComponentId(1), ComponentId(2)));
+/// // ...but both can exchange anomalies with the web tier.
+/// assert!(g.connected(ComponentId(3), ComponentId(0)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DependencyGraph {
+    /// Forward adjacency: a -> set of b with a depends-on b.
+    forward: BTreeMap<u32, BTreeSet<u32>>,
+    /// Reverse adjacency, kept in sync.
+    reverse: BTreeMap<u32, BTreeSet<u32>>,
+}
+
+impl DependencyGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        DependencyGraph::default()
+    }
+
+    /// Builds a graph from a list of `(from, to)` edges.
+    pub fn from_edges<I>(edges: I) -> Self
+    where
+        I: IntoIterator<Item = (ComponentId, ComponentId)>,
+    {
+        let mut g = DependencyGraph::new();
+        for (a, b) in edges {
+            g.add_edge(a, b);
+        }
+        g
+    }
+
+    /// Adds the edge `from -> to` (idempotent).
+    pub fn add_edge(&mut self, from: ComponentId, to: ComponentId) {
+        self.forward.entry(from.0).or_default().insert(to.0);
+        self.reverse.entry(to.0).or_default().insert(from.0);
+    }
+
+    /// Whether the exact directed edge exists.
+    pub fn has_edge(&self, from: ComponentId, to: ComponentId) -> bool {
+        self.forward
+            .get(&from.0)
+            .is_some_and(|s| s.contains(&to.0))
+    }
+
+    /// Whether the graph has no edges at all (the System S discovery
+    /// outcome).
+    pub fn is_empty(&self) -> bool {
+        self.forward.values().all(|s| s.is_empty())
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.forward.values().map(|s| s.len()).sum()
+    }
+
+    /// All directed edges in deterministic order.
+    pub fn edges(&self) -> Vec<(ComponentId, ComponentId)> {
+        let mut out = Vec::new();
+        for (&a, succs) in &self.forward {
+            for &b in succs {
+                out.push((ComponentId(a), ComponentId(b)));
+            }
+        }
+        out
+    }
+
+    /// Direct dependencies of `c` (components `c` sends requests to).
+    pub fn dependencies_of(&self, c: ComponentId) -> Vec<ComponentId> {
+        self.forward
+            .get(&c.0)
+            .map(|s| s.iter().map(|&x| ComponentId(x)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Direct dependents of `c` (components that send requests to `c`).
+    pub fn dependents_of(&self, c: ComponentId) -> Vec<ComponentId> {
+        self.reverse
+            .get(&c.0)
+            .map(|s| s.iter().map(|&x| ComponentId(x)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Whether a directed path `from -> ... -> to` exists (BFS).
+    ///
+    /// A component trivially reaches itself.
+    pub fn has_directed_path(&self, from: ComponentId, to: ComponentId) -> bool {
+        self.bfs(from, to, false)
+    }
+
+    /// Whether `a` and `b` are connected ignoring edge direction —
+    /// FChain's propagation-plausibility test (anomalies travel both with
+    /// requests and against them via back-pressure).
+    pub fn connected(&self, a: ComponentId, b: ComponentId) -> bool {
+        self.bfs(a, b, true)
+    }
+
+    fn bfs(&self, from: ComponentId, to: ComponentId, undirected: bool) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut seen = BTreeSet::new();
+        let mut queue = VecDeque::new();
+        seen.insert(from.0);
+        queue.push_back(from.0);
+        while let Some(cur) = queue.pop_front() {
+            let mut push_all = |succs: Option<&BTreeSet<u32>>| -> bool {
+                if let Some(s) = succs {
+                    for &next in s {
+                        if next == to.0 {
+                            return true;
+                        }
+                        if seen.insert(next) {
+                            queue.push_back(next);
+                        }
+                    }
+                }
+                false
+            };
+            if push_all(self.forward.get(&cur)) {
+                return true;
+            }
+            if undirected && push_all(self.reverse.get(&cur)) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl Extend<(ComponentId, ComponentId)> for DependencyGraph {
+    fn extend<T: IntoIterator<Item = (ComponentId, ComponentId)>>(&mut self, iter: T) {
+        for (a, b) in iter {
+            self.add_edge(a, b);
+        }
+    }
+}
+
+impl FromIterator<(ComponentId, ComponentId)> for DependencyGraph {
+    fn from_iter<T: IntoIterator<Item = (ComponentId, ComponentId)>>(iter: T) -> Self {
+        DependencyGraph::from_edges(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(n: u32) -> ComponentId {
+        ComponentId(n)
+    }
+
+    fn rubis() -> DependencyGraph {
+        // web(0) -> app1(1), web -> app2(2), app1 -> db(3), app2 -> db(3)
+        DependencyGraph::from_edges([(c(0), c(1)), (c(0), c(2)), (c(1), c(3)), (c(2), c(3))])
+    }
+
+    #[test]
+    fn edges_and_counts() {
+        let g = rubis();
+        assert_eq!(g.edge_count(), 4);
+        assert!(g.has_edge(c(0), c(1)));
+        assert!(!g.has_edge(c(1), c(0)));
+        assert!(!g.is_empty());
+        assert!(DependencyGraph::new().is_empty());
+    }
+
+    #[test]
+    fn add_edge_is_idempotent() {
+        let mut g = DependencyGraph::new();
+        g.add_edge(c(0), c(1));
+        g.add_edge(c(0), c(1));
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn directed_paths() {
+        let g = rubis();
+        assert!(g.has_directed_path(c(0), c(3))); // web reaches db
+        assert!(!g.has_directed_path(c(3), c(0))); // not backwards
+        assert!(!g.has_directed_path(c(1), c(2))); // siblings independent
+        assert!(g.has_directed_path(c(1), c(1))); // self
+    }
+
+    #[test]
+    fn undirected_connectivity() {
+        let g = rubis();
+        assert!(g.connected(c(3), c(0)));
+        // Siblings ARE connected undirected (via web or db) — the
+        // spurious-propagation filter relies on *disconnected* components
+        // only, e.g. a component of another application.
+        assert!(g.connected(c(1), c(2)));
+        let mut g2 = rubis();
+        g2.add_edge(c(10), c(11)); // disjoint second app
+        assert!(!g2.connected(c(0), c(10)));
+    }
+
+    #[test]
+    fn neighbors() {
+        let g = rubis();
+        assert_eq!(g.dependencies_of(c(0)), vec![c(1), c(2)]);
+        assert_eq!(g.dependents_of(c(3)), vec![c(1), c(2)]);
+        assert!(g.dependencies_of(c(3)).is_empty());
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let g: DependencyGraph = [(c(0), c(1))].into_iter().collect();
+        assert!(g.has_edge(c(0), c(1)));
+        let mut g2 = DependencyGraph::new();
+        g2.extend([(c(1), c(2))]);
+        assert!(g2.has_edge(c(1), c(2)));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Undirected connectivity is symmetric and directed reachability
+        /// implies it.
+        #[test]
+        fn connectivity_laws(edges in proptest::collection::vec((0u32..12, 0u32..12), 0..40)) {
+            let g = DependencyGraph::from_edges(
+                edges.iter().map(|&(a, b)| (ComponentId(a), ComponentId(b))),
+            );
+            for a in 0..12u32 {
+                for b in 0..12u32 {
+                    let (ca, cb) = (ComponentId(a), ComponentId(b));
+                    prop_assert_eq!(g.connected(ca, cb), g.connected(cb, ca));
+                    if g.has_directed_path(ca, cb) {
+                        prop_assert!(g.connected(ca, cb));
+                    }
+                }
+            }
+        }
+    }
+}

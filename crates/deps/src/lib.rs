@@ -1,0 +1,137 @@
+//! Black-box inter-component dependency discovery.
+//!
+//! FChain "leverage\[s\] previous black-box dependency discovery tools
+//! \[Sherlock, SIGCOMM 2007\] to discover inter-component dependencies"
+//! (paper §II.C). The discovery is passive: it watches network packets
+//! between component VMs, separates them into flows using the *gaps*
+//! between packets, and infers a dependency edge between components that
+//! exchange sufficiently many flows.
+//!
+//! Two properties of the paper are modeled faithfully:
+//!
+//! * discovery needs to accumulate a sufficient amount of trace data, so it
+//!   runs offline and the result is stored for later reference
+//!   ([`encode_trace`] / [`decode_trace`] provide the storage format);
+//! * it **fails on continuous data-stream systems** (IBM System S): stream
+//!   traffic has no inter-packet gaps, so no flows can be separated and no
+//!   dependency is discovered — which is why the `Dependency` baseline
+//!   collapses on System S while FChain keeps working.
+//!
+//! # Examples
+//!
+//! ```
+//! use fchain_deps::{discover, DiscoveryConfig, Packet};
+//! use fchain_metrics::ComponentId;
+//!
+//! // Bursts of request/reply traffic web(0) -> app(1) with gaps between.
+//! let mut packets = Vec::new();
+//! for req in 0..20u64 {
+//!     for t in 0..3u64 {
+//!         packets.push(Packet::new(req * 10 + t, ComponentId(0), ComponentId(1), 512));
+//!     }
+//! }
+//! let graph = discover(&packets, &DiscoveryConfig::default());
+//! assert!(graph.has_edge(ComponentId(0), ComponentId(1)));
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod flow;
+mod graph;
+mod orion;
+mod trace;
+
+pub use flow::{extract_flows, Flow, Packet};
+pub use graph::DependencyGraph;
+pub use orion::{discover_orion, OrionConfig};
+pub use trace::{decode_trace, encode_trace, TraceDecodeError};
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the dependency discovery pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiscoveryConfig {
+    /// Two packets of the same (src, dst) pair further apart than this gap
+    /// (in ticks) belong to different flows.
+    pub flow_gap: u64,
+    /// Minimum number of distinct flows required before an edge is trusted
+    /// ("the black-box dependency scheme needs to accumulate sufficient
+    /// amount of network trace data", paper §II.C footnote).
+    pub min_flows: usize,
+}
+
+impl Default for DiscoveryConfig {
+    fn default() -> Self {
+        DiscoveryConfig {
+            flow_gap: 3,
+            min_flows: 5,
+        }
+    }
+}
+
+/// Discovers the inter-component dependency graph from a packet trace.
+///
+/// Components that exchange at least [`DiscoveryConfig::min_flows`]
+/// separable flows get a directed edge `src -> dst` ("src depends on dst":
+/// src initiates requests served by dst). Gap-free continuous traffic
+/// yields a single unseparable flow per pair and therefore **no edges** —
+/// the System S failure mode.
+pub fn discover(packets: &[Packet], config: &DiscoveryConfig) -> DependencyGraph {
+    let flows = extract_flows(packets, config.flow_gap);
+    let mut counts: std::collections::BTreeMap<(u32, u32), usize> = std::collections::BTreeMap::new();
+    for flow in &flows {
+        *counts.entry((flow.src.0, flow.dst.0)).or_insert(0) += 1;
+    }
+    let mut graph = DependencyGraph::new();
+    for (&(src, dst), &n) in &counts {
+        if n >= config.min_flows {
+            graph.add_edge(fchain_metrics::ComponentId(src), fchain_metrics::ComponentId(dst));
+        }
+    }
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fchain_metrics::ComponentId;
+
+    fn bursty_traffic(src: u32, dst: u32, bursts: u64) -> Vec<Packet> {
+        let mut out = Vec::new();
+        for b in 0..bursts {
+            for t in 0..2 {
+                out.push(Packet::new(b * 20 + t, ComponentId(src), ComponentId(dst), 256));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn request_reply_traffic_is_discovered() {
+        let mut packets = bursty_traffic(0, 1, 10);
+        packets.extend(bursty_traffic(1, 2, 10));
+        packets.sort_by_key(|p| p.tick);
+        let g = discover(&packets, &DiscoveryConfig::default());
+        assert!(g.has_edge(ComponentId(0), ComponentId(1)));
+        assert!(g.has_edge(ComponentId(1), ComponentId(2)));
+        assert!(!g.has_edge(ComponentId(0), ComponentId(2)));
+    }
+
+    #[test]
+    fn continuous_stream_discovers_nothing() {
+        // One packet every tick, forever: no gaps, one flow, below min_flows.
+        let packets: Vec<Packet> = (0..500)
+            .map(|t| Packet::new(t, ComponentId(3), ComponentId(4), 1024))
+            .collect();
+        let g = discover(&packets, &DiscoveryConfig::default());
+        assert!(g.is_empty(), "stream traffic must not yield dependencies");
+    }
+
+    #[test]
+    fn insufficient_flows_are_not_trusted() {
+        let packets = bursty_traffic(0, 1, 3); // only 3 flows < min_flows 5
+        let g = discover(&packets, &DiscoveryConfig::default());
+        assert!(g.is_empty());
+    }
+}

@@ -1,0 +1,178 @@
+//! Binary packet-trace encoding.
+//!
+//! Dependency discovery "needs to accumulate sufficient amount of network
+//! trace data ... We perform the dependency discovery offline and store
+//! the results in a file for later reference" (paper §II.C footnote). The
+//! format here is the stable on-disk representation of a packet trace:
+//! a magic header, a count, and fixed-width records.
+
+use crate::Packet;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use fchain_metrics::ComponentId;
+use std::fmt;
+
+const MAGIC: u32 = 0x46434854; // "FCHT"
+const RECORD_BYTES: usize = 8 + 4 + 4 + 4; // tick + src + dst + bytes
+
+/// Failure decoding a packet trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceDecodeError {
+    /// The buffer is shorter than the fixed header.
+    TruncatedHeader,
+    /// The magic number does not match.
+    BadMagic(u32),
+    /// The buffer ended inside a record; holds the index of the bad record.
+    TruncatedRecord(usize),
+}
+
+impl fmt::Display for TraceDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceDecodeError::TruncatedHeader => write!(f, "trace shorter than header"),
+            TraceDecodeError::BadMagic(m) => write!(f, "bad trace magic {m:#010x}"),
+            TraceDecodeError::TruncatedRecord(i) => {
+                write!(f, "trace truncated inside record {i}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceDecodeError {}
+
+/// Encodes a packet trace into its stable binary form.
+///
+/// # Examples
+///
+/// ```
+/// use fchain_deps::{decode_trace, encode_trace, Packet};
+/// use fchain_metrics::ComponentId;
+///
+/// let trace = vec![Packet::new(1, ComponentId(0), ComponentId(1), 99)];
+/// let bytes = encode_trace(&trace);
+/// assert_eq!(decode_trace(&bytes)?, trace);
+/// # Ok::<(), fchain_deps::TraceDecodeError>(())
+/// ```
+pub fn encode_trace(packets: &[Packet]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(8 + packets.len() * RECORD_BYTES);
+    buf.put_u32(MAGIC);
+    buf.put_u32(packets.len() as u32);
+    for p in packets {
+        buf.put_u64(p.tick);
+        buf.put_u32(p.src.0);
+        buf.put_u32(p.dst.0);
+        buf.put_u32(p.bytes);
+    }
+    buf.freeze()
+}
+
+/// Decodes a packet trace produced by [`encode_trace`].
+///
+/// # Errors
+///
+/// Returns a [`TraceDecodeError`] when the header is short, the magic is
+/// wrong, or the record area is truncated.
+pub fn decode_trace(mut buf: &[u8]) -> Result<Vec<Packet>, TraceDecodeError> {
+    if buf.len() < 8 {
+        return Err(TraceDecodeError::TruncatedHeader);
+    }
+    let magic = buf.get_u32();
+    if magic != MAGIC {
+        return Err(TraceDecodeError::BadMagic(magic));
+    }
+    let count = buf.get_u32() as usize;
+    let mut out = Vec::with_capacity(count.min(1 << 20));
+    for i in 0..count {
+        if buf.len() < RECORD_BYTES {
+            return Err(TraceDecodeError::TruncatedRecord(i));
+        }
+        let tick = buf.get_u64();
+        let src = ComponentId(buf.get_u32());
+        let dst = ComponentId(buf.get_u32());
+        let bytes = buf.get_u32();
+        out.push(Packet {
+            tick,
+            src,
+            dst,
+            bytes,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_empty() {
+        let bytes = encode_trace(&[]);
+        assert_eq!(decode_trace(&bytes).unwrap(), Vec::<Packet>::new());
+    }
+
+    #[test]
+    fn roundtrip_many() {
+        let trace: Vec<Packet> = (0..100)
+            .map(|i| Packet::new(i, ComponentId(i as u32 % 5), ComponentId(9), i as u32 * 3))
+            .collect();
+        let bytes = encode_trace(&trace);
+        assert_eq!(decode_trace(&bytes).unwrap(), trace);
+    }
+
+    #[test]
+    fn rejects_short_header() {
+        assert_eq!(
+            decode_trace(&[1, 2, 3]),
+            Err(TraceDecodeError::TruncatedHeader)
+        );
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = encode_trace(&[]).to_vec();
+        bytes[0] = 0;
+        assert!(matches!(
+            decode_trace(&bytes),
+            Err(TraceDecodeError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_record() {
+        let trace = vec![Packet::new(1, ComponentId(0), ComponentId(1), 9)];
+        let bytes = encode_trace(&trace);
+        let cut = &bytes[..bytes.len() - 2];
+        assert_eq!(decode_trace(cut), Err(TraceDecodeError::TruncatedRecord(0)));
+    }
+
+    #[test]
+    fn error_messages_are_lowercase_and_nonempty() {
+        for e in [
+            TraceDecodeError::TruncatedHeader,
+            TraceDecodeError::BadMagic(7),
+            TraceDecodeError::TruncatedRecord(3),
+        ] {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Encode/decode round-trips arbitrary traces.
+        #[test]
+        fn roundtrip(records in proptest::collection::vec((0u64..1_000_000, 0u32..64, 0u32..64, 0u32..1_000_000), 0..200)) {
+            let trace: Vec<Packet> = records
+                .into_iter()
+                .map(|(t, s, d, b)| Packet::new(t, ComponentId(s), ComponentId(d), b))
+                .collect();
+            let encoded = encode_trace(&trace);
+            prop_assert_eq!(decode_trace(&encoded).unwrap(), trace);
+        }
+    }
+}

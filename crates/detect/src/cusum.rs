@@ -1,0 +1,339 @@
+//! CUSUM + bootstrap change-point detection with recursive segmentation.
+
+use fchain_metrics::stats;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Direction of the level shift at a change point.
+///
+/// The integrated pinpointing step uses per-component trends to detect
+/// external factors: "if ... the changes at all the components follow the
+/// same upward or downward trend, FChain infers that the performance
+/// anomaly is probably caused by some external factors" (paper §II.C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Trend {
+    /// The level after the change is higher.
+    Up,
+    /// The level after the change is lower.
+    Down,
+}
+
+/// A detected change point within an analyzed window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChangePoint {
+    /// Index into the analyzed slice; the change happens *at* this sample
+    /// (the first sample of the new regime).
+    pub index: usize,
+    /// Bootstrap confidence in `[0, 1]` that the segment contains a real
+    /// change.
+    pub confidence: f64,
+    /// Absolute difference between the post- and pre-change segment means.
+    pub magnitude: f64,
+    /// Shift direction.
+    pub direction: Trend,
+}
+
+/// Configuration of the CUSUM + bootstrap detector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CusumConfig {
+    /// Number of bootstrap reshuffles per segment.
+    pub bootstraps: usize,
+    /// Minimum bootstrap confidence to accept a change (e.g. `0.95`).
+    pub confidence: f64,
+    /// Minimum segment length to keep recursing.
+    pub min_segment: usize,
+    /// Maximum number of change points reported per window (guards the
+    /// recursion on pathological inputs).
+    pub max_change_points: usize,
+    /// RNG seed for the bootstrap (deterministic runs).
+    pub seed: u64,
+}
+
+impl Default for CusumConfig {
+    fn default() -> Self {
+        CusumConfig {
+            bootstraps: 200,
+            confidence: 0.95,
+            min_segment: 6,
+            max_change_points: 32,
+            seed: 0x5eed_cafe,
+        }
+    }
+}
+
+/// "CUSUM + Bootstrap" change point detector (Basseville & Nikiforov via
+/// Taylor's bootstrap formulation), extended with recursive binary
+/// segmentation so a window can contain several change points — exactly
+/// the behavior Fig. 3 of the paper shows (many change points on a bursty
+/// Hadoop metric).
+///
+/// # Examples
+///
+/// ```
+/// use fchain_detect::{CusumConfig, CusumDetector};
+///
+/// let mut xs = vec![10.0; 50];
+/// xs.extend(vec![30.0; 50]);
+/// let detector = CusumDetector::new(CusumConfig::default());
+/// let cps = detector.detect(&xs);
+/// assert_eq!(cps.len(), 1);
+/// assert!((cps[0].index as i64 - 50).unsigned_abs() <= 2);
+/// assert!(cps[0].magnitude > 15.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CusumDetector {
+    config: CusumConfig,
+}
+
+impl CusumDetector {
+    /// Creates a detector with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bootstraps == 0`, `confidence` is outside `(0, 1]`, or
+    /// `min_segment < 4`.
+    pub fn new(config: CusumConfig) -> Self {
+        assert!(config.bootstraps > 0, "bootstraps must be non-zero");
+        assert!(
+            config.confidence > 0.0 && config.confidence <= 1.0,
+            "confidence must be in (0, 1]"
+        );
+        assert!(config.min_segment >= 4, "min_segment must be at least 4");
+        CusumDetector { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CusumConfig {
+        &self.config
+    }
+
+    /// Detects all change points in `xs`, sorted by index.
+    pub fn detect(&self, xs: &[f64]) -> Vec<ChangePoint> {
+        let mut rng = SmallRng::seed_from_u64(self.config.seed);
+        let mut found = Vec::new();
+        self.segment(xs, 0, &mut found, &mut rng, 0);
+        found.sort_by_key(|cp| cp.index);
+        found
+    }
+
+    /// Recursively splits `xs[offset..]`; found change points carry
+    /// absolute indices.
+    fn segment(
+        &self,
+        xs: &[f64],
+        offset: usize,
+        out: &mut Vec<ChangePoint>,
+        rng: &mut SmallRng,
+        depth: usize,
+    ) {
+        if xs.len() < self.config.min_segment * 2 || out.len() >= self.config.max_change_points {
+            return;
+        }
+        // Hard recursion cap: every split strictly shrinks both halves, but
+        // keep an explicit guard for safety.
+        if depth > 24 {
+            return;
+        }
+        let Some((split, confidence)) = self.test_segment(xs, rng) else {
+            return;
+        };
+        if split < self.config.min_segment || xs.len() - split < self.config.min_segment {
+            return;
+        }
+        let before = stats::mean(&xs[..split]);
+        let after = stats::mean(&xs[split..]);
+        let magnitude = (after - before).abs();
+        let direction = if after >= before { Trend::Up } else { Trend::Down };
+        out.push(ChangePoint {
+            index: offset + split,
+            confidence,
+            magnitude,
+            direction,
+        });
+        self.segment(&xs[..split], offset, out, rng, depth + 1);
+        self.segment(&xs[split..], offset + split, out, rng, depth + 1);
+    }
+
+    /// Taylor's bootstrap test: returns `(split_index, confidence)` when a
+    /// significant change exists in the segment.
+    fn test_segment(&self, xs: &[f64], rng: &mut SmallRng) -> Option<(usize, f64)> {
+        let n = xs.len();
+        let mean = stats::mean(xs);
+        // CUSUM: S_i = sum_{j<=i} (x_j - mean).
+        let mut s = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        let mut s_min = f64::INFINITY;
+        let mut s_max = f64::NEG_INFINITY;
+        let mut max_abs_idx = 0;
+        let mut max_abs = -1.0;
+        for (i, &x) in xs.iter().enumerate() {
+            acc += x - mean;
+            s.push(acc);
+            s_min = s_min.min(acc);
+            s_max = s_max.max(acc);
+            if acc.abs() > max_abs {
+                max_abs = acc.abs();
+                max_abs_idx = i;
+            }
+        }
+        let s_diff = s_max - s_min;
+        if s_diff <= f64::EPSILON {
+            return None; // constant segment
+        }
+        // Bootstrap: how often does a random reordering show a smaller
+        // CUSUM span? A real change keeps the original span extreme.
+        let mut shuffled = xs.to_vec();
+        let mut below = 0usize;
+        for _ in 0..self.config.bootstraps {
+            shuffled.shuffle(rng);
+            let mut acc = 0.0;
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for &x in &shuffled {
+                acc += x - mean;
+                lo = lo.min(acc);
+                hi = hi.max(acc);
+            }
+            if hi - lo < s_diff {
+                below += 1;
+            }
+        }
+        let confidence = below as f64 / self.config.bootstraps as f64;
+        if confidence < self.config.confidence {
+            return None;
+        }
+        // The change is estimated at the extreme of |S|; the new regime
+        // starts on the next sample.
+        Some(((max_abs_idx + 1).min(n - 1), confidence))
+    }
+}
+
+impl Default for CusumDetector {
+    fn default() -> Self {
+        CusumDetector::new(CusumConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(pre: f64, post: f64, at: usize, n: usize) -> Vec<f64> {
+        (0..n).map(|i| if i < at { pre } else { post }).collect()
+    }
+
+    #[test]
+    fn clean_step_found_at_right_place() {
+        let xs = step(5.0, 25.0, 40, 100);
+        let cps = CusumDetector::default().detect(&xs);
+        assert_eq!(cps.len(), 1);
+        let cp = cps[0];
+        assert!((cp.index as i64 - 40).unsigned_abs() <= 2, "index {}", cp.index);
+        assert_eq!(cp.direction, Trend::Up);
+        assert!(cp.magnitude > 15.0);
+        assert!(cp.confidence >= 0.95);
+    }
+
+    #[test]
+    fn downward_step_direction() {
+        let xs = step(25.0, 5.0, 60, 120);
+        let cps = CusumDetector::default().detect(&xs);
+        assert_eq!(cps[0].direction, Trend::Down);
+    }
+
+    #[test]
+    fn constant_signal_has_no_change_points() {
+        let xs = vec![7.0; 80];
+        assert!(CusumDetector::default().detect(&xs).is_empty());
+    }
+
+    #[test]
+    fn pure_noise_rarely_flags() {
+        // Deterministic pseudo-noise; stationary, so the bootstrap should
+        // not find high-confidence changes.
+        let xs: Vec<f64> = (0..100)
+            .map(|i| ((i as f64 * 12.9898).sin() * 43758.5453).fract())
+            .collect();
+        let cps = CusumDetector::default().detect(&xs);
+        assert!(cps.len() <= 1, "noise produced {} change points", cps.len());
+    }
+
+    #[test]
+    fn multiple_steps_found_by_segmentation() {
+        let mut xs = step(5.0, 25.0, 40, 80);
+        xs.extend(step(25.0, 60.0, 20, 60)); // second step at 100
+        let cps = CusumDetector::default().detect(&xs);
+        assert!(cps.len() >= 2, "found {:?}", cps);
+        assert!(cps.iter().any(|c| (c.index as i64 - 40).unsigned_abs() <= 3));
+        assert!(cps.iter().any(|c| (c.index as i64 - 100).unsigned_abs() <= 3));
+        // Sorted by index.
+        for w in cps.windows(2) {
+            assert!(w[0].index < w[1].index);
+        }
+    }
+
+    #[test]
+    fn short_windows_are_skipped() {
+        let xs = step(0.0, 10.0, 3, 8); // shorter than 2 * min_segment
+        assert!(CusumDetector::default().detect(&xs).is_empty());
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let xs: Vec<f64> = (0..150)
+            .map(|i| if i < 70 { 10.0 } else { 20.0 } + ((i * 7) % 5) as f64)
+            .collect();
+        let d = CusumDetector::default();
+        assert_eq!(d.detect(&xs), d.detect(&xs));
+    }
+
+    #[test]
+    #[should_panic(expected = "min_segment")]
+    fn tiny_min_segment_rejected() {
+        let _ = CusumDetector::new(CusumConfig {
+            min_segment: 2,
+            ..CusumConfig::default()
+        });
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Detection never reports out-of-range indices, is sorted, and
+        /// magnitudes are non-negative and within the data span.
+        #[test]
+        fn well_formed_output(xs in proptest::collection::vec(0.0f64..100.0, 0..200)) {
+            let cps = CusumDetector::default().detect(&xs);
+            let span = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+                - xs.iter().copied().fold(f64::INFINITY, f64::min);
+            for w in cps.windows(2) {
+                prop_assert!(w[0].index < w[1].index);
+            }
+            for cp in cps {
+                prop_assert!(cp.index < xs.len());
+                prop_assert!(cp.magnitude >= 0.0);
+                prop_assert!(cp.magnitude <= span + 1e-9);
+                prop_assert!((0.0..=1.0).contains(&cp.confidence));
+            }
+        }
+
+        /// A large clean step is always detected.
+        #[test]
+        fn step_always_detected(at in 20usize..80, jump in 20.0f64..100.0) {
+            let xs: Vec<f64> = (0..100)
+                .map(|i| if i < at { 10.0 } else { 10.0 + jump })
+                .collect();
+            let cps = CusumDetector::default().detect(&xs);
+            prop_assert!(!cps.is_empty());
+            prop_assert!(cps.iter().any(|c| (c.index as i64 - at as i64).unsigned_abs() <= 3));
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Change-point detection for FChain.
+//!
+//! FChain first finds *candidate* change points with "the common change
+//! point detection algorithm 'CUSUM + Bootstrap'" (paper §II.B, citing
+//! Basseville & Nikiforov), then prunes them in two stages:
+//!
+//! 1. the PAL-style **magnitude outlier filter** (smoothing + change
+//!    magnitude outlier detection) keeps only change points whose step is
+//!    an outlier among the window's changes — this is the whole abnormal-
+//!    component test used by the `Topology`, `Dependency` and `PAL`
+//!    baselines;
+//! 2. FChain's own **predictability filter** (in `fchain-core`) then keeps
+//!    only change points the online model could not predict.
+//!
+//! This crate implements stage 0 and stage 1: [`CusumDetector`] with
+//! bootstrap significance testing and recursive segmentation, and
+//! [`magnitude_outliers`].
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod cusum;
+mod outlier;
+
+pub use cusum::{ChangePoint, CusumConfig, CusumDetector, Trend};
+pub use outlier::{magnitude_outliers, OutlierConfig};

@@ -1,0 +1,47 @@
+//! Show findings for failing cases of one campaign.
+use fchain_core::{FChain, Localizer};
+use fchain_eval::{case_from_run, Campaign};
+use fchain_sim::{AppKind, FaultKind};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let app = match args.get(1).map(|s| s.as_str()) {
+        Some("hadoop") => AppKind::Hadoop,
+        Some("systems") => AppKind::SystemS,
+        _ => AppKind::Rubis,
+    };
+    let fault = match args.get(2).map(|s| s.as_str()) {
+        Some("cpuhog") => FaultKind::CpuHog,
+        Some("nethog") => FaultKind::NetHog,
+        Some("lbbug") => FaultKind::LbBug,
+        Some("offloadbug") => FaultKind::OffloadBug,
+        Some("bottleneck") => FaultKind::Bottleneck,
+        Some("conc_memleak") => FaultKind::ConcurrentMemLeak,
+        Some("conc_cpuhog") => FaultKind::ConcurrentCpuHog,
+        Some("conc_diskhog") => FaultKind::ConcurrentDiskHog,
+        _ => FaultKind::MemLeak,
+    };
+    let base: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(1000);
+    let runs: usize = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(30);
+    let campaign = Campaign::new(app, fault, base).with_runs(runs);
+    let fchain = FChain::default();
+    for i in 0..campaign.runs {
+        let run = campaign.run_record(i);
+        let Some(case) = case_from_run(&run, campaign.lookback) else { continue };
+        let report = fchain.diagnose(&case);
+        let ok = report.pinpointed == run.fault.targets;
+        if ok { continue; }
+        println!("seed={} t_f={} t_v={} truth={:?} pinned={:?} verdict={:?}",
+            run.seed, run.fault.start, run.violation_at.unwrap(), run.fault.targets,
+            report.pinpointed, report.verdict);
+        for f in &report.findings {
+            if f.changes.is_empty() { continue; }
+            let name = &run.model.components[f.id.index()].name;
+            for ch in &f.changes {
+                println!("   {name} {} cp={} onset={} err={:.1} exp={:.1}",
+                    ch.metric, ch.change_at, ch.onset, ch.prediction_error, ch.expected_error);
+            }
+        }
+    }
+    let _ = fchain.name();
+}

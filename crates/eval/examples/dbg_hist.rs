@@ -1,0 +1,21 @@
+//! Print Histogram scheme scores per component for sample cases.
+use fchain_baselines::HistogramScheme;
+use fchain_eval::case_from_run;
+use fchain_metrics::ComponentId;
+use fchain_sim::{AppKind, FaultKind, RunConfig, Simulator};
+
+fn main() {
+    for (app, fault) in [
+        (AppKind::Rubis, FaultKind::MemLeak),
+        (AppKind::Rubis, FaultKind::CpuHog),
+        (AppKind::SystemS, FaultKind::MemLeak),
+    ] {
+        let run = Simulator::new(RunConfig::new(app, fault, 77).with_duration(3600)).run();
+        let case = case_from_run(&run, 100).unwrap();
+        let scheme = HistogramScheme::new(0.0);
+        let scores: Vec<String> = (0..run.component_count() as u32)
+            .map(|c| format!("C{c}={:.2}", scheme.score(&case, ComponentId(c))))
+            .collect();
+        println!("{app}/{fault} truth={:?}: {}", run.fault.targets, scores.join(" "));
+    }
+}

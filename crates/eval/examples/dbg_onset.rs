@@ -1,0 +1,26 @@
+//! Print the per-metric onsets FChain derives for components 0 and 1 of the
+//! synthetic concurrent-step case from the core unit test.
+use fchain_core::{slave::analyze_component, ComponentCase, FChainConfig};
+use fchain_metrics::{ComponentId, MetricKind, TimeSeries};
+
+fn component(id: u32, jump_at: usize) -> ComponentCase {
+    let n = 1200usize;
+    let mut metrics: Vec<TimeSeries> = (0..6)
+        .map(|k| TimeSeries::from_samples(0, (0..n).map(|t| 40.0 + ((t * (k + 2)) % 5) as f64).collect()))
+        .collect();
+    let cpu: Vec<f64> = (0..n)
+        .map(|t| 30.0 + ((t * 3) % 7) as f64 + if t >= jump_at { 45.0 } else { 0.0 })
+        .collect();
+    metrics[MetricKind::Cpu.index()] = TimeSeries::from_samples(0, cpu);
+    ComponentCase { id: ComponentId(id), name: format!("c{id}"), metrics }
+}
+
+fn main() {
+    for (id, jump) in [(0u32, 1090usize), (1, 1091)] {
+        let f = analyze_component(&component(id, jump), 1150, 100, &FChainConfig::default());
+        println!("C{id} jump={jump}: changes:");
+        for ch in &f.changes {
+            println!("  {} cp={} onset={} err={:.2} exp={:.2}", ch.metric, ch.change_at, ch.onset, ch.prediction_error, ch.expected_error);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Check FChain's external-factor inference on workload surges.
+use fchain_core::{FChain, Verdict};
+use fchain_eval::case_from_run;
+use fchain_sim::{AppKind, FaultKind, RunConfig, Simulator};
+
+fn main() {
+    let mut external = 0;
+    let mut faulty = 0;
+    let mut none = 0;
+    for seed in 0..10u64 {
+        let run = Simulator::new(RunConfig::new(AppKind::Rubis, FaultKind::WorkloadSurge, seed)).run();
+        let Some(case) = case_from_run(&run, 100) else { println!("seed {seed}: no violation"); continue };
+        let report = FChain::default().diagnose(&case);
+        match report.verdict {
+            Verdict::ExternalFactor(_) => external += 1,
+            Verdict::Faulty => {
+                faulty += 1;
+                println!("seed {seed}: FP pinned {:?}", report.pinpointed);
+                for f in &report.findings {
+                    if let Some(o) = f.onset() {
+                        println!("   {} onset={o} trend={:?}", f.id, f.trend());
+                    }
+                }
+            }
+            Verdict::NoAnomaly => none += 1,
+        }
+    }
+    println!("external={external} faulty={faulty} none={none}");
+}

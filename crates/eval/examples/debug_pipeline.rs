@@ -1,0 +1,84 @@
+//! Stage-by-stage pipeline inspection for one component/metric.
+use fchain_core::FChainConfig;
+use fchain_detect::{magnitude_outliers, CusumDetector};
+use fchain_metrics::{fft, smooth, stats, ComponentId, MetricKind};
+use fchain_model::OnlineLearner;
+use fchain_sim::{AppKind, FaultKind, RunConfig, Simulator};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(43);
+    let comp: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let metric_idx: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let app = match args.get(4).map(|s| s.as_str()) {
+        Some("hadoop") => AppKind::Hadoop,
+        Some("systems") => AppKind::SystemS,
+        _ => AppKind::Rubis,
+    };
+    let fault = match args.get(5).map(|s| s.as_str()) {
+        Some("memleak") => FaultKind::MemLeak,
+        Some("conc_cpuhog") => FaultKind::ConcurrentCpuHog,
+        Some("conc_memleak") => FaultKind::ConcurrentMemLeak,
+        Some("conc_diskhog") => FaultKind::ConcurrentDiskHog,
+        Some("bottleneck") => FaultKind::Bottleneck,
+        Some("lbbug") => FaultKind::LbBug,
+        Some("offloadbug") => FaultKind::OffloadBug,
+        Some("nethog") => FaultKind::NetHog,
+        _ => FaultKind::CpuHog,
+    };
+    let run = Simulator::new(RunConfig::new(app, fault, seed).with_duration(3600)).run();
+    let t_v = run.violation_at.unwrap();
+    let mut cfg = FChainConfig::default();
+    if let Some(w) = args.get(6).and_then(|s| s.parse().ok()) {
+        cfg.lookback = w;
+    }
+    let kind = MetricKind::ALL[metric_idx];
+    let hist_ts = run.metric(ComponentId(comp), kind);
+    let hist = hist_ts.window(0, t_v);
+    println!("t_f={} t_v={} hist_len={}", run.fault.start, t_v, hist.len());
+
+    let mut learner = OnlineLearner::new(cfg.learner.clone());
+    let errors = learner.train_errors(hist);
+    let n = hist.len();
+    let w = (cfg.lookback as usize).min(n - 1);
+    println!("W={w}");
+    let ns = cfg.learner.calibration_samples.min(n - 1);
+    let ne = n.saturating_sub(w).max(ns + 1).min(n);
+    let floor = 2.5 * stats::percentile(&errors[ns..ne], 90.0).unwrap().max(1e-9);
+    println!("error floor = {:.2}", floor);
+
+    let window_start = n - 1 - w;
+    let raw = &hist[window_start..];
+    let sm = smooth::moving_average(raw, cfg.smoothing_half);
+    let det = CusumDetector::new(cfg.cusum.clone());
+    let cps = det.detect(&sm);
+    println!("cusum cps: {:?}", cps.iter().map(|c| (c.index, (c.magnitude*10.0).round()/10.0, (c.confidence*100.0).round())).collect::<Vec<_>>());
+    let outl = magnitude_outliers(&cps, &sm, &cfg.outlier);
+    println!("outliers: {:?}", outl.iter().map(|c| c.index).collect::<Vec<_>>());
+    // Replicate the real selection thresholds.
+    let q2 = 2 * cfg.burst_window as usize;
+    let guard = cfg.smoothing_half + 2;
+    let anchor = window_start + cps[0].index;
+    let alo = anchor.saturating_sub(q2 + guard);
+    let ahi = anchor.saturating_sub(1 + guard).max(alo);
+    let exp_anchor = cfg.burst_scale * fft::burst_magnitude(&hist[alo..=ahi.min(hist.len()-1)], 0.9, 90.0);
+    let head_end = (window_start + q2).min(hist.len() - 1);
+    let exp_head = cfg.burst_scale * fft::burst_magnitude(&hist[window_start..=head_end], 0.9, 90.0);
+    println!("exp_anchor={exp_anchor:.1} (anchor abs {anchor}) exp_head={exp_head:.1}");
+    for cp in &outl {
+        let abs = window_start + cp.index;
+        let lo = abs.saturating_sub(2);
+        let hi = (abs + 2).min(errors.len() - 1);
+        let real = errors[lo..=hi].iter().copied().fold(0.0, f64::max);
+        let qlo = abs.saturating_sub(20);
+        let qhi = (abs + 20).min(n - 1);
+        let exp = 2.0 * fft::burst_magnitude(&hist[qlo..=qhi], 0.9, 90.0);
+        println!("  cp idx {} (abs {}): real={:.2} exp_burst={:.2} floor={:.2} -> {}",
+            cp.index, abs, real, exp, floor, if real > exp.max(floor) {"ABNORMAL"} else {"filtered"});
+    }
+    // context: show window values near the end
+    let tail: Vec<f64> = raw[raw.len().saturating_sub(20)..].iter().map(|v| (v*10.0).round()/10.0).collect();
+    println!("window tail: {:?}", tail);
+    let etail: Vec<f64> = errors[n-20..].iter().map(|v| (v*10.0).round()/10.0).collect();
+    println!("error tail: {:?}", etail);
+}

@@ -1,0 +1,35 @@
+//! Scratch end-to-end smoke: FChain over a few campaigns.
+use fchain_core::FChain;
+use fchain_eval::{render, Campaign};
+use fchain_sim::{AppKind, FaultKind};
+
+fn main() {
+    let scenarios = [
+        (AppKind::Rubis, FaultKind::CpuHog),
+        (AppKind::Rubis, FaultKind::MemLeak),
+        (AppKind::Rubis, FaultKind::NetHog),
+        (AppKind::Rubis, FaultKind::OffloadBug),
+        (AppKind::Rubis, FaultKind::LbBug),
+        (AppKind::SystemS, FaultKind::MemLeak),
+        (AppKind::SystemS, FaultKind::CpuHog),
+        (AppKind::SystemS, FaultKind::Bottleneck),
+        (AppKind::SystemS, FaultKind::ConcurrentMemLeak),
+        (AppKind::SystemS, FaultKind::ConcurrentCpuHog),
+        (AppKind::Hadoop, FaultKind::ConcurrentMemLeak),
+        (AppKind::Hadoop, FaultKind::ConcurrentCpuHog),
+        (AppKind::Hadoop, FaultKind::ConcurrentDiskHog),
+    ];
+    let fchain = FChain::default();
+    for (app, fault) in scenarios {
+        let campaign = Campaign::new(app, fault, 42).with_runs(
+            std::env::var("FCHAIN_RUNS").ok().and_then(|v| v.parse().ok()).unwrap_or(10),
+        );
+        let campaign = if fault.is_slow_manifesting() { campaign.with_lookback(500) } else { campaign };
+        let results = campaign.evaluate(&[&fchain]);
+        print!("{}", render::campaign_block(&format!("{app}/{fault}"), &results));
+        // show a few outcomes
+        for o in results[0].outcomes.iter().take(4) {
+            println!("   seed={} pin={:?} truth={:?}", o.seed, o.pinpointed, o.faulty);
+        }
+    }
+}

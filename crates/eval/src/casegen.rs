@@ -1,0 +1,122 @@
+//! Turning a simulated run into a diagnosis case.
+
+use fchain_core::{CaseData, ComponentCase};
+use fchain_deps::{discover, DiscoveryConfig};
+use fchain_metrics::ComponentId;
+use fchain_sim::RunRecord;
+
+/// Builds the [`CaseData`] a localizer sees from a finished run: metric
+/// histories truncated at the violation time `t_v`, the a-priori topology
+/// (for schemes allowed to assume it), and the dependency graph recovered
+/// by black-box discovery over the *pre-fault* packet trace (discovery is
+/// an offline step on accumulated normal traffic, paper §II.C footnote).
+///
+/// Returns `None` when the run never violated its SLO (no diagnosis is
+/// triggered).
+///
+/// # Examples
+///
+/// ```
+/// use fchain_eval::case_from_run;
+/// use fchain_sim::{AppKind, FaultKind, RunConfig, Simulator};
+///
+/// let run = Simulator::new(
+///     RunConfig::new(AppKind::Rubis, FaultKind::CpuHog, 1).with_duration(1200),
+/// )
+/// .run();
+/// let case = case_from_run(&run, 100).expect("violation expected");
+/// assert_eq!(case.components.len(), 4);
+/// assert!(case.discovered_deps.as_ref().unwrap().edge_count() > 0);
+/// ```
+pub fn case_from_run(run: &RunRecord, lookback: u64) -> Option<CaseData> {
+    let t_v = run.violation_at?;
+    let components = run
+        .model
+        .components
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let id = ComponentId(i as u32);
+            ComponentCase {
+                id,
+                name: spec.name.clone(),
+                metrics: (0..6)
+                    .map(|k| run.series[i][k].slice(0, t_v))
+                    .collect(),
+            }
+        })
+        .collect();
+
+    // Dependency discovery runs offline on normal-period traffic.
+    let normal_packets: Vec<_> = run
+        .packets
+        .iter()
+        .filter(|p| p.tick < run.fault.start)
+        .copied()
+        .collect();
+    let discovered = discover(&normal_packets, &DiscoveryConfig::default());
+
+    // Where the SLO is observed: the request entry point for request/reply
+    // applications, the pipeline sink for streams, the final reducer for
+    // the MapReduce job.
+    let frontend = match run.model.kind {
+        fchain_sim::AppKind::Rubis => ComponentId(0),
+        fchain_sim::AppKind::SystemS => ComponentId(run.model.len() as u32 - 1),
+        fchain_sim::AppKind::Hadoop => ComponentId(run.model.len() as u32 - 1),
+    };
+
+    Some(CaseData {
+        violation_at: t_v,
+        lookback,
+        components,
+        known_topology: Some(run.model.dataflow.clone()),
+        discovered_deps: Some(discovered),
+        frontend: Some(frontend),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fchain_sim::{AppKind, FaultKind, RunConfig, Simulator};
+
+    #[test]
+    fn histories_are_truncated_at_violation() {
+        let run = Simulator::new(
+            RunConfig::new(AppKind::Rubis, FaultKind::MemLeak, 3).with_duration(1500),
+        )
+        .run();
+        let t_v = run.violation_at.unwrap();
+        let case = case_from_run(&run, 100).unwrap();
+        assert_eq!(case.violation_at, t_v);
+        for cc in &case.components {
+            for m in &cc.metrics {
+                assert_eq!(m.end(), t_v, "history must stop at t_v");
+                assert_eq!(m.start(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn rubis_dependencies_are_discovered_systems_are_not() {
+        let rubis = Simulator::new(
+            RunConfig::new(AppKind::Rubis, FaultKind::CpuHog, 5).with_duration(1500),
+        )
+        .run();
+        let case = case_from_run(&rubis, 100).unwrap();
+        assert_eq!(
+            case.discovered_deps.as_ref().unwrap().edge_count(),
+            rubis.model.dataflow.edge_count()
+        );
+
+        let systems = Simulator::new(
+            RunConfig::new(AppKind::SystemS, FaultKind::CpuHog, 5).with_duration(1500),
+        )
+        .run();
+        let case = case_from_run(&systems, 100).unwrap();
+        assert!(
+            case.discovered_deps.as_ref().unwrap().is_empty(),
+            "stream traffic must yield no dependencies"
+        );
+    }
+}

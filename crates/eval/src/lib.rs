@@ -1,0 +1,35 @@
+//! Evaluation harness: the paper's experiment methodology.
+//!
+//! §III.A of the paper: inject one fault per one-hour application run at a
+//! random time, repeat 30–40 runs per fault, and score every localization
+//! scheme with precision/recall (Eq. 1), sweeping scheme thresholds to
+//! trace ROC curves. This crate reproduces that methodology over the
+//! simulator:
+//!
+//! * [`case_from_run`] turns a simulated [`fchain_sim::RunRecord`] into the
+//!   [`fchain_core::CaseData`] a localizer consumes — including running
+//!   black-box dependency discovery on the pre-fault packet trace;
+//! * [`OracleProbe`] adapts the simulator's scaling oracle to FChain's
+//!   online-validation interface;
+//! * [`Counts`] accumulates true/false positives/negatives and computes
+//!   precision and recall;
+//! * [`Campaign`] runs N seeded runs of one (application, fault) pair and
+//!   scores any set of [`fchain_core::Localizer`]s on them, in parallel;
+//! * [`render`] prints the text tables the benchmark targets emit.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod campaign;
+mod casegen;
+mod probe;
+mod roc;
+mod score;
+
+pub mod render;
+
+pub use campaign::{Campaign, CampaignResult, CaseOutcome};
+pub use casegen::case_from_run;
+pub use probe::OracleProbe;
+pub use roc::{RocCurve, RocPoint};
+pub use score::Counts;

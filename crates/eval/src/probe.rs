@@ -1,0 +1,64 @@
+//! Adapter from the simulator's scaling oracle to FChain's validation
+//! interface.
+
+use fchain_core::ValidationProbe;
+use fchain_metrics::{ComponentId, MetricKind};
+use fchain_sim::ScalingOracle;
+
+/// Implements [`ValidationProbe`] over the simulator's [`ScalingOracle`],
+/// counting how many scaling observations were made (each costs ~30 s on
+/// the paper's testbed, which is what Table II's "online validation" row
+/// reports).
+#[derive(Debug)]
+pub struct OracleProbe<'a> {
+    oracle: &'a ScalingOracle,
+    observations: usize,
+}
+
+impl<'a> OracleProbe<'a> {
+    /// Wraps a run's scaling oracle.
+    pub fn new(oracle: &'a ScalingOracle) -> Self {
+        OracleProbe {
+            oracle,
+            observations: 0,
+        }
+    }
+
+    /// Number of scaling observations performed so far.
+    pub fn observations(&self) -> usize {
+        self.observations
+    }
+
+    /// Total simulated validation cost in seconds.
+    pub fn cost_secs(&self) -> u64 {
+        self.observations as u64 * self.oracle.observation_cost_secs()
+    }
+}
+
+impl ValidationProbe for OracleProbe<'_> {
+    fn scale_and_observe(&mut self, component: ComponentId, metric: MetricKind) -> bool {
+        self.observations += 1;
+        self.oracle.scale_improves(component, metric)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fchain_sim::{FaultKind, InjectedFault};
+
+    #[test]
+    fn probe_counts_and_costs() {
+        let fault = InjectedFault {
+            kind: FaultKind::CpuHog,
+            targets: vec![ComponentId(2)],
+            start: 100,
+        };
+        let oracle = ScalingOracle::new(&fault, 7, 0.0);
+        let mut probe = OracleProbe::new(&oracle);
+        assert!(probe.scale_and_observe(ComponentId(2), MetricKind::Cpu));
+        assert!(!probe.scale_and_observe(ComponentId(0), MetricKind::Cpu));
+        assert_eq!(probe.observations(), 2);
+        assert_eq!(probe.cost_secs(), 60);
+    }
+}

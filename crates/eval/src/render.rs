@@ -1,0 +1,89 @@
+//! Text rendering of experiment results in the shape the paper reports.
+
+use crate::campaign::CampaignResult;
+use crate::score::Counts;
+
+/// Renders one figure-style block: the per-scheme precision/recall points
+/// of one (application, fault) experiment. Threshold-swept schemes pass
+/// multiple rows (one per operating point), tracing the ROC curve.
+///
+/// # Examples
+///
+/// ```
+/// use fchain_eval::render::roc_block;
+/// use fchain_eval::Counts;
+///
+/// let rows = vec![("FChain".to_string(), Counts { tp: 9, fp: 1, fn_: 1 })];
+/// let text = roc_block("rubis / cpuhog", &rows);
+/// assert!(text.contains("FChain"));
+/// assert!(text.contains("0.90"));
+/// ```
+pub fn roc_block(title: &str, rows: &[(String, Counts)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    out.push_str(&format!(
+        "{:<28} {:>9} {:>9} {:>6} {:>6} {:>6}\n",
+        "scheme", "precision", "recall", "tp", "fp", "fn"
+    ));
+    for (name, c) in rows {
+        out.push_str(&format!(
+            "{:<28} {:>9.2} {:>9.2} {:>6} {:>6} {:>6}\n",
+            name,
+            c.precision(),
+            c.recall(),
+            c.tp,
+            c.fp,
+            c.fn_
+        ));
+    }
+    out
+}
+
+/// Renders campaign results as a [`roc_block`].
+pub fn campaign_block(title: &str, results: &[CampaignResult]) -> String {
+    let rows: Vec<(String, Counts)> = results
+        .iter()
+        .map(|r| (r.scheme.clone(), r.counts))
+        .collect();
+    roc_block(title, &rows)
+}
+
+/// Renders a P/R cell the way Table I prints them (`P=0.97, R=1`).
+pub fn pr_cell(c: &Counts) -> String {
+    format!("P={:.2}, R={:.2}", c.precision(), c.recall())
+}
+
+/// Renders a numeric series (figure data) as `label: v1 v2 v3 ...`.
+pub fn series_line(label: &str, values: &[f64]) -> String {
+    let vals: Vec<String> = values.iter().map(|v| format!("{v:.3}")).collect();
+    format!("{label}: {}", vals.join(" "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_formats_all_rows() {
+        let rows = vec![
+            ("FChain".to_string(), Counts { tp: 10, fp: 0, fn_: 0 }),
+            ("PAL".to_string(), Counts { tp: 6, fp: 4, fn_: 4 }),
+        ];
+        let text = roc_block("test", &rows);
+        assert!(text.contains("== test =="));
+        assert!(text.lines().count() >= 4);
+        assert!(text.contains("PAL"));
+        assert!(text.contains("0.60"));
+    }
+
+    #[test]
+    fn pr_cell_format() {
+        let c = Counts { tp: 97, fp: 3, fn_: 0 };
+        assert_eq!(pr_cell(&c), "P=0.97, R=1.00");
+    }
+
+    #[test]
+    fn series_line_format() {
+        assert_eq!(series_line("x", &[1.0, 2.5]), "x: 1.000 2.500");
+    }
+}

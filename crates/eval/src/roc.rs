@@ -1,0 +1,166 @@
+//! ROC curves over threshold-swept schemes.
+//!
+//! The paper evaluates "the accuracy of different pinpointing algorithms
+//! using the commonly used 'receiver operating characteristic' (ROC)
+//! curve whose X-axis and Y-axis show the recall and precision" (§III.A).
+//! This module turns a set of per-operating-point [`Counts`] into an
+//! ordered curve with summary statistics.
+
+use crate::score::Counts;
+use serde::{Deserialize, Serialize};
+
+/// One operating point of a swept scheme.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RocPoint {
+    /// The swept parameter value (threshold, δ, σ, ...).
+    pub parameter: f64,
+    /// Recall at this point (X axis).
+    pub recall: f64,
+    /// Precision at this point (Y axis).
+    pub precision: f64,
+}
+
+/// A precision/recall curve, ordered by recall.
+///
+/// # Examples
+///
+/// ```
+/// use fchain_eval::{Counts, RocCurve};
+///
+/// let curve = RocCurve::from_counts([
+///     (0.1, Counts { tp: 9, fp: 9, fn_: 1 }),
+///     (0.5, Counts { tp: 7, fp: 1, fn_: 3 }),
+/// ]);
+/// assert_eq!(curve.points().len(), 2);
+/// assert!(curve.auc() > 0.0);
+/// let best = curve.best_f1().unwrap();
+/// assert_eq!(best.parameter, 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RocCurve {
+    points: Vec<RocPoint>,
+}
+
+impl RocCurve {
+    /// Builds a curve from `(parameter, counts)` pairs.
+    pub fn from_counts<I>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (f64, Counts)>,
+    {
+        let mut points: Vec<RocPoint> = pairs
+            .into_iter()
+            .map(|(parameter, c)| RocPoint {
+                parameter,
+                recall: c.recall(),
+                precision: c.precision(),
+            })
+            .collect();
+        points.sort_by(|a, b| {
+            a.recall
+                .partial_cmp(&b.recall)
+                .expect("finite recall")
+                .then(a.precision.partial_cmp(&b.precision).expect("finite"))
+        });
+        RocCurve { points }
+    }
+
+    /// The operating points, ordered by recall.
+    pub fn points(&self) -> &[RocPoint] {
+        &self.points
+    }
+
+    /// Area under the precision-recall curve (trapezoid rule over the
+    /// recall axis, with the curve extended flat to recall 0 and clamped
+    /// at its maximal recall). Zero for an empty curve.
+    pub fn auc(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        let mut area = 0.0;
+        let mut prev_r = 0.0;
+        let mut prev_p = self.points[0].precision;
+        for pt in &self.points {
+            area += (pt.recall - prev_r) * (pt.precision + prev_p) / 2.0;
+            prev_r = pt.recall;
+            prev_p = pt.precision;
+        }
+        area
+    }
+
+    /// The point with the best F1 score, if any.
+    pub fn best_f1(&self) -> Option<&RocPoint> {
+        self.points.iter().max_by(|a, b| {
+            f1(a).partial_cmp(&f1(b)).expect("finite f1")
+        })
+    }
+
+    /// Whether this curve dominates `other`: for every point of `other`
+    /// there is a point here with at least its recall *and* at least its
+    /// precision.
+    pub fn dominates(&self, other: &RocCurve) -> bool {
+        other.points.iter().all(|o| {
+            self.points
+                .iter()
+                .any(|s| s.recall >= o.recall - 1e-12 && s.precision >= o.precision - 1e-12)
+        })
+    }
+}
+
+fn f1(p: &RocPoint) -> f64 {
+    if p.precision + p.recall == 0.0 {
+        0.0
+    } else {
+        2.0 * p.precision * p.recall / (p.precision + p.recall)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(tp: u64, fp: u64, fn_: u64) -> Counts {
+        Counts { tp, fp, fn_ }
+    }
+
+    #[test]
+    fn points_are_sorted_by_recall() {
+        let curve = RocCurve::from_counts([
+            (1.0, counts(9, 0, 1)),
+            (0.1, counts(10, 20, 0)),
+            (0.5, counts(8, 4, 2)),
+        ]);
+        let recalls: Vec<f64> = curve.points().iter().map(|p| p.recall).collect();
+        assert!(recalls.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn auc_of_perfect_scheme_is_near_one() {
+        let curve = RocCurve::from_counts([(0.5, counts(10, 0, 0))]);
+        assert!((curve.auc() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auc_empty_curve_is_zero() {
+        assert_eq!(RocCurve::default().auc(), 0.0);
+    }
+
+    #[test]
+    fn best_f1_picks_the_balanced_point() {
+        let curve = RocCurve::from_counts([
+            (0.1, counts(10, 90, 0)),  // P=0.1 R=1.0, F1≈0.18
+            (0.5, counts(8, 2, 2)),    // P=0.8 R=0.8, F1=0.8
+            (0.9, counts(2, 0, 8)),    // P=1.0 R=0.2, F1≈0.33
+        ]);
+        assert_eq!(curve.best_f1().unwrap().parameter, 0.5);
+    }
+
+    #[test]
+    fn dominance_is_detected() {
+        let strong = RocCurve::from_counts([(0.0, counts(9, 1, 1))]);
+        let weak = RocCurve::from_counts([(0.0, counts(5, 5, 5))]);
+        assert!(strong.dominates(&weak));
+        assert!(!weak.dominates(&strong));
+        // Every curve dominates the empty one.
+        assert!(weak.dominates(&RocCurve::default()));
+    }
+}

@@ -1,0 +1,145 @@
+//! Precision/recall accounting (paper Eq. 1).
+
+use fchain_metrics::ComponentId;
+use serde::{Deserialize, Serialize};
+
+/// Accumulated true positives, false positives and false negatives across
+/// diagnosis cases.
+///
+/// `Precision = Ntp / (Ntp + Nfp)`, `Recall = Ntp / (Ntp + Nfn)` —
+/// counted per *component*: correctly pinpointing a faulty component is a
+/// true positive, blaming a normal component a false positive, missing a
+/// faulty component a false negative.
+///
+/// # Examples
+///
+/// ```
+/// use fchain_eval::Counts;
+/// use fchain_metrics::ComponentId;
+///
+/// let mut counts = Counts::default();
+/// counts.add_case(&[ComponentId(1)], &[ComponentId(1), ComponentId(2)]);
+/// assert_eq!(counts.precision(), 1.0);
+/// assert_eq!(counts.recall(), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counts {
+    /// Correctly pinpointed faulty components.
+    pub tp: u64,
+    /// Normal components pinpointed as faulty.
+    pub fp: u64,
+    /// Faulty components missed.
+    pub fn_: u64,
+}
+
+impl Counts {
+    /// Scores one case: `pinpointed` against the ground-truth `faulty` set.
+    pub fn add_case(&mut self, pinpointed: &[ComponentId], faulty: &[ComponentId]) {
+        for p in pinpointed {
+            if faulty.contains(p) {
+                self.tp += 1;
+            } else {
+                self.fp += 1;
+            }
+        }
+        for f in faulty {
+            if !pinpointed.contains(f) {
+                self.fn_ += 1;
+            }
+        }
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: Counts) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+    }
+
+    /// `Ntp / (Ntp + Nfp)`; defined as 1 when nothing was pinpointed
+    /// (no claims, no wrong claims).
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// `Ntp / (Ntp + Nfn)`; defined as 0 when there was nothing to find
+    /// and nothing found... (the denominator is zero only if no case had a
+    /// faulty component, which does not occur in the campaigns).
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+}
+
+impl std::fmt::Display for Counts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "P={:.2} R={:.2} (tp={} fp={} fn={})",
+            self.precision(),
+            self.recall(),
+            self.tp,
+            self.fp,
+            self.fn_
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(n: u32) -> ComponentId {
+        ComponentId(n)
+    }
+
+    #[test]
+    fn perfect_case() {
+        let mut counts = Counts::default();
+        counts.add_case(&[c(1), c(2)], &[c(1), c(2)]);
+        assert_eq!(counts.precision(), 1.0);
+        assert_eq!(counts.recall(), 1.0);
+    }
+
+    #[test]
+    fn false_positive_hurts_precision_only() {
+        let mut counts = Counts::default();
+        counts.add_case(&[c(1), c(3)], &[c(1)]);
+        assert_eq!(counts.precision(), 0.5);
+        assert_eq!(counts.recall(), 1.0);
+    }
+
+    #[test]
+    fn miss_hurts_recall_only() {
+        let mut counts = Counts::default();
+        counts.add_case(&[], &[c(1)]);
+        assert_eq!(counts.precision(), 1.0); // vacuous
+        assert_eq!(counts.recall(), 0.0);
+    }
+
+    #[test]
+    fn accumulation_and_merge() {
+        let mut a = Counts::default();
+        a.add_case(&[c(1)], &[c(1)]);
+        let mut b = Counts::default();
+        b.add_case(&[c(2)], &[c(3)]);
+        a.merge(b);
+        assert_eq!(a, Counts { tp: 1, fp: 1, fn_: 1 });
+        assert_eq!(a.precision(), 0.5);
+        assert_eq!(a.recall(), 0.5);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let mut counts = Counts::default();
+        counts.add_case(&[c(1)], &[c(1)]);
+        assert!(counts.to_string().contains("P=1.00"));
+    }
+}

@@ -1,0 +1,206 @@
+//! Typed identifiers for components and their monitored metrics.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the six system-level attributes FChain monitors on every guest VM
+/// (paper §III.A: "Monitored metrics are cpu usage, memory usage, network
+/// in, network out, disk read, and disk write").
+///
+/// # Examples
+///
+/// ```
+/// use fchain_metrics::MetricKind;
+///
+/// let bursty: Vec<_> = MetricKind::ALL
+///     .iter()
+///     .filter(|m| m.is_io())
+///     .collect();
+/// assert_eq!(bursty.len(), 4);
+/// assert_eq!(MetricKind::Cpu.to_string(), "cpu");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum MetricKind {
+    /// CPU utilization of the VM, in percent of one core `[0, 100]`.
+    Cpu,
+    /// Resident memory usage, in MB.
+    Memory,
+    /// Inbound network throughput, in KB/s.
+    NetIn,
+    /// Outbound network throughput, in KB/s.
+    NetOut,
+    /// Disk read throughput, in KB/s.
+    DiskRead,
+    /// Disk write throughput, in KB/s.
+    DiskWrite,
+}
+
+impl MetricKind {
+    /// All six monitored attributes, in a stable order.
+    pub const ALL: [MetricKind; 6] = [
+        MetricKind::Cpu,
+        MetricKind::Memory,
+        MetricKind::NetIn,
+        MetricKind::NetOut,
+        MetricKind::DiskRead,
+        MetricKind::DiskWrite,
+    ];
+
+    /// Stable dense index of this kind within [`MetricKind::ALL`].
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            MetricKind::Cpu => 0,
+            MetricKind::Memory => 1,
+            MetricKind::NetIn => 2,
+            MetricKind::NetOut => 3,
+            MetricKind::DiskRead => 4,
+            MetricKind::DiskWrite => 5,
+        }
+    }
+
+    /// Whether this metric measures I/O throughput (network or disk).
+    ///
+    /// I/O metrics are inherently burstier than CPU or memory under normal
+    /// workloads, which is exactly why FChain derives a *per-change-point*
+    /// expected prediction error instead of a fixed threshold.
+    #[inline]
+    pub fn is_io(self) -> bool {
+        matches!(
+            self,
+            MetricKind::NetIn | MetricKind::NetOut | MetricKind::DiskRead | MetricKind::DiskWrite
+        )
+    }
+
+    /// Short lowercase name used in reports (`cpu`, `mem`, `net_in`, ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            MetricKind::Cpu => "cpu",
+            MetricKind::Memory => "mem",
+            MetricKind::NetIn => "net_in",
+            MetricKind::NetOut => "net_out",
+            MetricKind::DiskRead => "disk_read",
+            MetricKind::DiskWrite => "disk_write",
+        }
+    }
+}
+
+impl fmt::Display for MetricKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Identifier of one application component.
+///
+/// FChain treats each guest VM as one component (paper §II.A); the id is an
+/// index into the application's component table kept by the simulator or
+/// deployment.
+///
+/// # Examples
+///
+/// ```
+/// use fchain_metrics::ComponentId;
+///
+/// let web = ComponentId(0);
+/// assert_eq!(web.to_string(), "C0");
+/// assert!(web < ComponentId(1));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ComponentId(pub u32);
+
+impl ComponentId {
+    /// The id as a dense `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ComponentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+impl From<u32> for ComponentId {
+    fn from(v: u32) -> Self {
+        ComponentId(v)
+    }
+}
+
+/// A (component, metric) pair: one monitored signal.
+///
+/// # Examples
+///
+/// ```
+/// use fchain_metrics::{ComponentId, MetricId, MetricKind};
+///
+/// let id = MetricId::new(ComponentId(2), MetricKind::DiskWrite);
+/// assert_eq!(id.to_string(), "C2.disk_write");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MetricId {
+    /// The component the signal is sampled on.
+    pub component: ComponentId,
+    /// Which of the six attributes.
+    pub kind: MetricKind,
+}
+
+impl MetricId {
+    /// Creates a new metric identifier.
+    #[inline]
+    pub fn new(component: ComponentId, kind: MetricKind) -> Self {
+        MetricId { component, kind }
+    }
+}
+
+impl fmt::Display for MetricId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.component, self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_kind_indices_match_all_order() {
+        for (i, kind) in MetricKind::ALL.iter().enumerate() {
+            assert_eq!(kind.index(), i, "index of {kind} disagrees with ALL");
+        }
+    }
+
+    #[test]
+    fn metric_kind_names_are_unique() {
+        let mut names: Vec<_> = MetricKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn io_classification() {
+        assert!(!MetricKind::Cpu.is_io());
+        assert!(!MetricKind::Memory.is_io());
+        assert!(MetricKind::NetIn.is_io());
+        assert!(MetricKind::DiskWrite.is_io());
+    }
+
+    #[test]
+    fn component_id_display_and_order() {
+        assert_eq!(ComponentId(7).to_string(), "C7");
+        assert!(ComponentId(1) < ComponentId(2));
+        assert_eq!(ComponentId::from(3u32), ComponentId(3));
+        assert_eq!(ComponentId(5).index(), 5);
+    }
+
+    #[test]
+    fn metric_id_display() {
+        let id = MetricId::new(ComponentId(0), MetricKind::NetOut);
+        assert_eq!(id.to_string(), "C0.net_out");
+    }
+}

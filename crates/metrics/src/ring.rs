@@ -1,0 +1,180 @@
+//! Fixed-capacity recent-history buffer.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-capacity FIFO buffer over `f64` samples.
+///
+/// The FChain slave keeps one ring per monitored metric so that, when the
+/// master asks for the look-back window `[t_v - W, t_v]`, the most recent
+/// samples are available without unbounded memory growth (the daemon's
+/// footprint is ~3 MB in the paper, §III.G).
+///
+/// # Examples
+///
+/// ```
+/// use fchain_metrics::RingBuffer;
+///
+/// let mut ring = RingBuffer::new(3);
+/// for v in [1.0, 2.0, 3.0, 4.0] {
+///     ring.push(v);
+/// }
+/// assert_eq!(ring.to_vec(), vec![2.0, 3.0, 4.0]);
+/// assert_eq!(ring.latest(), Some(4.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RingBuffer {
+    capacity: usize,
+    /// Oldest-first storage; `head` indexes the oldest element once full.
+    data: Vec<f64>,
+    head: usize,
+    total_pushed: u64,
+}
+
+impl RingBuffer {
+    /// Creates a ring holding at most `capacity` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "RingBuffer capacity must be non-zero");
+        RingBuffer {
+            capacity,
+            data: Vec::with_capacity(capacity),
+            head: 0,
+            total_pushed: 0,
+        }
+    }
+
+    /// Maximum number of retained samples.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of retained samples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether no samples are retained.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Total samples ever pushed (including evicted ones).
+    #[inline]
+    pub fn total_pushed(&self) -> u64 {
+        self.total_pushed
+    }
+
+    /// Appends a sample, evicting the oldest when full.
+    pub fn push(&mut self, value: f64) {
+        if self.data.len() < self.capacity {
+            self.data.push(value);
+        } else {
+            self.data[self.head] = value;
+            self.head = (self.head + 1) % self.capacity;
+        }
+        self.total_pushed += 1;
+    }
+
+    /// Most recently pushed sample.
+    pub fn latest(&self) -> Option<f64> {
+        if self.data.is_empty() {
+            None
+        } else if self.data.len() < self.capacity {
+            self.data.last().copied()
+        } else {
+            let idx = (self.head + self.capacity - 1) % self.capacity;
+            Some(self.data[idx])
+        }
+    }
+
+    /// Retained samples in oldest-first order.
+    pub fn to_vec(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.data.len());
+        out.extend_from_slice(&self.data[self.head..]);
+        out.extend_from_slice(&self.data[..self.head]);
+        out
+    }
+
+    /// The `n` most recent samples (or fewer if not enough retained),
+    /// oldest-first.
+    pub fn last_n(&self, n: usize) -> Vec<f64> {
+        let all = self.to_vec();
+        let skip = all.len().saturating_sub(n);
+        all[skip..].to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_wraps() {
+        let mut r = RingBuffer::new(3);
+        assert!(r.is_empty());
+        r.push(1.0);
+        r.push(2.0);
+        assert_eq!(r.to_vec(), vec![1.0, 2.0]);
+        r.push(3.0);
+        r.push(4.0);
+        r.push(5.0);
+        assert_eq!(r.to_vec(), vec![3.0, 4.0, 5.0]);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.capacity(), 3);
+        assert_eq!(r.total_pushed(), 5);
+    }
+
+    #[test]
+    fn latest_tracks_wraparound() {
+        let mut r = RingBuffer::new(2);
+        assert_eq!(r.latest(), None);
+        r.push(1.0);
+        assert_eq!(r.latest(), Some(1.0));
+        r.push(2.0);
+        r.push(3.0);
+        assert_eq!(r.latest(), Some(3.0));
+    }
+
+    #[test]
+    fn last_n_clamps() {
+        let mut r = RingBuffer::new(4);
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            r.push(v);
+        }
+        assert_eq!(r.last_n(2), vec![4.0, 5.0]);
+        assert_eq!(r.last_n(10), vec![2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        let _ = RingBuffer::new(0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The ring always equals the tail of the pushed sequence.
+        #[test]
+        fn ring_is_suffix(cap in 1usize..16, values in proptest::collection::vec(-1e6f64..1e6, 0..64)) {
+            let mut r = RingBuffer::new(cap);
+            for &v in &values {
+                r.push(v);
+            }
+            let expect_start = values.len().saturating_sub(cap);
+            prop_assert_eq!(r.to_vec(), values[expect_start..].to_vec());
+            prop_assert_eq!(r.latest(), values.last().copied());
+            prop_assert_eq!(r.total_pushed(), values.len() as u64);
+        }
+    }
+}

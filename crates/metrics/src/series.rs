@@ -1,0 +1,214 @@
+//! Contiguous 1 Hz sample vectors.
+
+use crate::Tick;
+use serde::{Deserialize, Serialize};
+
+/// A contiguous run of metric samples taken once per tick, anchored at a
+/// start tick.
+///
+/// This is the unit of data exchanged between the simulator, the FChain
+/// slave modules and the baseline schemes: sample `i` was taken at tick
+/// `start + i`.
+///
+/// # Examples
+///
+/// ```
+/// use fchain_metrics::TimeSeries;
+///
+/// let ts = TimeSeries::from_samples(100, vec![1.0, 2.0, 3.0]);
+/// assert_eq!(ts.start(), 100);
+/// assert_eq!(ts.end(), 102);
+/// assert_eq!(ts.at(101), Some(2.0));
+/// assert_eq!(ts.at(99), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TimeSeries {
+    start: Tick,
+    samples: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series whose first pushed sample will belong to
+    /// `start`.
+    pub fn new(start: Tick) -> Self {
+        TimeSeries {
+            start,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Creates a series from pre-recorded samples; sample `i` is at tick
+    /// `start + i`.
+    pub fn from_samples(start: Tick, samples: Vec<f64>) -> Self {
+        TimeSeries { start, samples }
+    }
+
+    /// First tick covered by the series.
+    #[inline]
+    pub fn start(&self) -> Tick {
+        self.start
+    }
+
+    /// Last tick covered by the series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series is empty.
+    #[inline]
+    pub fn end(&self) -> Tick {
+        assert!(!self.samples.is_empty(), "end() on empty TimeSeries");
+        self.start + self.samples.len() as Tick - 1
+    }
+
+    /// Number of samples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the series holds no samples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Appends the sample for the next tick.
+    #[inline]
+    pub fn push(&mut self, value: f64) {
+        self.samples.push(value);
+    }
+
+    /// The raw sample slice.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Sample at an absolute tick, if covered.
+    #[inline]
+    pub fn at(&self, tick: Tick) -> Option<f64> {
+        if tick < self.start {
+            return None;
+        }
+        self.samples.get((tick - self.start) as usize).copied()
+    }
+
+    /// Samples in the *inclusive* absolute tick range `[from, to]`, clamped
+    /// to the covered range.
+    ///
+    /// Returns an empty slice when the clamped range is empty.
+    pub fn window(&self, from: Tick, to: Tick) -> &[f64] {
+        if self.samples.is_empty() || to < self.start || from > to {
+            return &[];
+        }
+        let lo = from.max(self.start) - self.start;
+        let hi = to.min(self.end()) - self.start;
+        if lo > hi {
+            return &[];
+        }
+        &self.samples[lo as usize..=hi as usize]
+    }
+
+    /// The sub-series over the *inclusive* absolute tick range `[from, to]`,
+    /// clamped to the covered range, keeping tick anchoring.
+    pub fn slice(&self, from: Tick, to: Tick) -> TimeSeries {
+        let w = self.window(from, to);
+        TimeSeries {
+            start: from.max(self.start),
+            samples: w.to_vec(),
+        }
+    }
+
+    /// Iterates over `(tick, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Tick, f64)> + '_ {
+        self.samples
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (self.start + i as Tick, v))
+    }
+
+    /// Returns a copy with each sample mapped through `f` (same anchoring).
+    pub fn map(&self, f: impl FnMut(f64) -> f64) -> TimeSeries {
+        TimeSeries {
+            start: self.start,
+            samples: self.samples.iter().copied().map(f).collect(),
+        }
+    }
+}
+
+impl Extend<f64> for TimeSeries {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        self.samples.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts() -> TimeSeries {
+        TimeSeries::from_samples(10, vec![0.0, 1.0, 2.0, 3.0, 4.0])
+    }
+
+    #[test]
+    fn anchoring_and_lookup() {
+        let ts = ts();
+        assert_eq!(ts.start(), 10);
+        assert_eq!(ts.end(), 14);
+        assert_eq!(ts.at(10), Some(0.0));
+        assert_eq!(ts.at(14), Some(4.0));
+        assert_eq!(ts.at(15), None);
+        assert_eq!(ts.at(9), None);
+    }
+
+    #[test]
+    fn window_clamps_to_coverage() {
+        let ts = ts();
+        assert_eq!(ts.window(11, 13), &[1.0, 2.0, 3.0]);
+        assert_eq!(ts.window(0, 100), ts.values());
+        assert_eq!(ts.window(0, 9), &[] as &[f64]);
+        assert_eq!(ts.window(15, 20), &[] as &[f64]);
+        assert_eq!(ts.window(13, 11), &[] as &[f64]);
+    }
+
+    #[test]
+    fn slice_keeps_anchor() {
+        let s = ts().slice(12, 13);
+        assert_eq!(s.start(), 12);
+        assert_eq!(s.values(), &[2.0, 3.0]);
+        let clamped = ts().slice(0, 11);
+        assert_eq!(clamped.start(), 10);
+        assert_eq!(clamped.values(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn push_extends_coverage() {
+        let mut ts = TimeSeries::new(5);
+        assert!(ts.is_empty());
+        ts.push(9.0);
+        ts.extend([8.0, 7.0]);
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts.end(), 7);
+        assert_eq!(ts.at(6), Some(8.0));
+    }
+
+    #[test]
+    fn iter_yields_absolute_ticks() {
+        let pairs: Vec<_> = ts().iter().collect();
+        assert_eq!(pairs[0], (10, 0.0));
+        assert_eq!(pairs[4], (14, 4.0));
+    }
+
+    #[test]
+    fn map_preserves_anchor() {
+        let doubled = ts().map(|v| v * 2.0);
+        assert_eq!(doubled.start(), 10);
+        assert_eq!(doubled.at(12), Some(4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn end_on_empty_panics() {
+        let _ = TimeSeries::new(0).end();
+    }
+}

@@ -1,0 +1,184 @@
+//! Moving-average smoothing.
+//!
+//! PAL (the predecessor of FChain) showed that smoothing removes random
+//! noise from raw monitoring data before change-point detection; FChain
+//! inherits the same pre-processing step (paper §III.C also discusses its
+//! side effect on fast-propagating concurrent faults).
+
+use crate::TimeSeries;
+
+/// Centered moving average with window half-width `half` (full window
+/// `2 * half + 1`), shrinking the window near the edges.
+///
+/// `half == 0` returns the input unchanged.
+///
+/// # Examples
+///
+/// ```
+/// use fchain_metrics::smooth::moving_average;
+///
+/// let smoothed = moving_average(&[0.0, 10.0, 0.0, 10.0, 0.0], 1);
+/// assert_eq!(smoothed[2], 20.0 / 3.0);
+/// assert_eq!(smoothed.len(), 5);
+/// ```
+pub fn moving_average(xs: &[f64], half: usize) -> Vec<f64> {
+    if half == 0 || xs.len() <= 1 {
+        return xs.to_vec();
+    }
+    let n = xs.len();
+    let mut out = Vec::with_capacity(n);
+    // Prefix sums make each output O(1); the slave runs this on every
+    // look-back window so it must stay linear.
+    let mut prefix = Vec::with_capacity(n + 1);
+    prefix.push(0.0);
+    for &x in xs {
+        prefix.push(prefix.last().copied().unwrap_or(0.0) + x);
+    }
+    for i in 0..n {
+        let lo = i.saturating_sub(half);
+        let hi = (i + half).min(n - 1);
+        let sum = prefix[hi + 1] - prefix[lo];
+        out.push(sum / (hi - lo + 1) as f64);
+    }
+    out
+}
+
+/// Smooths a [`TimeSeries`] in place of its samples, preserving anchoring.
+///
+/// # Examples
+///
+/// ```
+/// use fchain_metrics::{smooth::smooth_series, TimeSeries};
+///
+/// let ts = TimeSeries::from_samples(5, vec![0.0, 6.0, 0.0]);
+/// let s = smooth_series(&ts, 1);
+/// assert_eq!(s.start(), 5);
+/// assert_eq!(s.at(6), Some(2.0));
+/// ```
+pub fn smooth_series(ts: &TimeSeries, half: usize) -> TimeSeries {
+    TimeSeries::from_samples(ts.start(), moving_average(ts.values(), half))
+}
+
+/// Exponentially weighted moving average with smoothing factor
+/// `alpha ∈ (0, 1]`; larger `alpha` tracks the signal more closely.
+///
+/// # Panics
+///
+/// Panics if `alpha` is outside `(0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use fchain_metrics::smooth::ewma;
+///
+/// let out = ewma(&[0.0, 10.0], 0.5);
+/// assert_eq!(out, vec![0.0, 5.0]);
+/// ```
+pub fn ewma(xs: &[f64], alpha: f64) -> Vec<f64> {
+    assert!(
+        alpha > 0.0 && alpha <= 1.0,
+        "EWMA alpha must be in (0, 1], got {alpha}"
+    );
+    let mut out = Vec::with_capacity(xs.len());
+    let mut state = None;
+    for &x in xs {
+        let next = match state {
+            None => x,
+            Some(prev) => alpha * x + (1.0 - alpha) * prev,
+        };
+        out.push(next);
+        state = Some(next);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_half_is_identity() {
+        let xs = [1.0, 5.0, 2.0];
+        assert_eq!(moving_average(&xs, 0), xs.to_vec());
+    }
+
+    #[test]
+    fn constant_signal_unchanged() {
+        let xs = [3.0; 10];
+        for half in [1, 2, 4] {
+            for v in moving_average(&xs, half) {
+                assert!((v - 3.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn edge_windows_shrink() {
+        let xs = [0.0, 10.0, 20.0];
+        let sm = moving_average(&xs, 1);
+        assert_eq!(sm[0], 5.0); // mean of [0, 10]
+        assert_eq!(sm[1], 10.0); // mean of [0, 10, 20]
+        assert_eq!(sm[2], 15.0); // mean of [10, 20]
+    }
+
+    #[test]
+    fn smoothing_reduces_variance_of_noise() {
+        // Alternating spikes: smoothing must shrink the spread.
+        let xs: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 0.0 } else { 10.0 }).collect();
+        let sm = moving_average(&xs, 2);
+        let raw_var = crate::stats::variance(&xs);
+        let sm_var = crate::stats::variance(&sm);
+        assert!(sm_var < raw_var / 4.0, "{sm_var} !< {raw_var}/4");
+    }
+
+    #[test]
+    fn ewma_first_sample_passthrough() {
+        assert_eq!(ewma(&[7.0, 7.0], 0.3), vec![7.0, 7.0]);
+        assert!(ewma(&[], 0.3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn ewma_rejects_bad_alpha() {
+        let _ = ewma(&[1.0], 0.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Smoothed values always stay within the input range, and output
+        /// length matches input length.
+        #[test]
+        fn moving_average_stays_in_range(
+            xs in proptest::collection::vec(-1e3f64..1e3, 1..128),
+            half in 0usize..8,
+        ) {
+            let sm = moving_average(&xs, half);
+            prop_assert_eq!(sm.len(), xs.len());
+            let lo = crate::stats::min(&xs).unwrap();
+            let hi = crate::stats::max(&xs).unwrap();
+            for v in sm {
+                prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+            }
+        }
+
+        /// EWMA stays within the input range too.
+        #[test]
+        fn ewma_stays_in_range(
+            xs in proptest::collection::vec(-1e3f64..1e3, 1..128),
+            alpha in 0.01f64..1.0,
+        ) {
+            let out = ewma(&xs, alpha);
+            prop_assert_eq!(out.len(), xs.len());
+            let lo = crate::stats::min(&xs).unwrap();
+            let hi = crate::stats::max(&xs).unwrap();
+            for v in out {
+                prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Local slope (tangent) estimation.
+//!
+//! FChain identifies the precise *start* of an abnormal change by rolling
+//! back from the selected change point while the tangents of adjacent
+//! change points stay close (difference < 0.1, paper §II.B). The tangent at
+//! a sample is estimated with a least-squares line over a small symmetric
+//! neighborhood, which is far more robust to single-sample noise than a
+//! two-point difference.
+
+/// Least-squares slope of `ys` against sample index `0..n`.
+///
+/// Returns `0.0` for fewer than two samples.
+///
+/// # Examples
+///
+/// ```
+/// use fchain_metrics::tangent::slope;
+///
+/// assert!((slope(&[0.0, 2.0, 4.0]) - 2.0).abs() < 1e-12);
+/// assert_eq!(slope(&[5.0]), 0.0);
+/// ```
+pub fn slope(ys: &[f64]) -> f64 {
+    let n = ys.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    let x_mean = (nf - 1.0) / 2.0;
+    let y_mean = ys.iter().sum::<f64>() / nf;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (i, &y) in ys.iter().enumerate() {
+        let dx = i as f64 - x_mean;
+        num += dx * (y - y_mean);
+        den += dx * dx;
+    }
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+/// Tangent of the signal at index `i`, estimated by [`slope`] over the
+/// neighborhood `[i - half, i + half]` clamped to the signal.
+///
+/// # Examples
+///
+/// ```
+/// use fchain_metrics::tangent::tangent_at;
+///
+/// let ramp: Vec<f64> = (0..20).map(|i| 3.0 * i as f64).collect();
+/// assert!((tangent_at(&ramp, 10, 3) - 3.0).abs() < 1e-9);
+/// ```
+pub fn tangent_at(ys: &[f64], i: usize, half: usize) -> f64 {
+    if ys.is_empty() {
+        return 0.0;
+    }
+    let i = i.min(ys.len() - 1);
+    let lo = i.saturating_sub(half);
+    let hi = (i + half).min(ys.len() - 1);
+    slope(&ys[lo..=hi])
+}
+
+/// Whether two tangents are "close" per FChain's rollback rule.
+///
+/// The comparison is on the absolute difference so that gradual ramps with
+/// consistent slope keep rolling back while a kink (slope change) stops the
+/// rollback.
+///
+/// # Examples
+///
+/// ```
+/// use fchain_metrics::tangent::tangents_close;
+///
+/// assert!(tangents_close(1.0, 1.05, 0.1));
+/// assert!(!tangents_close(1.0, 2.0, 0.1));
+/// ```
+#[inline]
+pub fn tangents_close(a: f64, b: f64, epsilon: f64) -> bool {
+    (a - b).abs() < epsilon
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slope_of_line_is_exact() {
+        let ys: Vec<f64> = (0..10).map(|i| 1.5 * i as f64 - 4.0).collect();
+        assert!((slope(&ys) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slope_of_constant_is_zero() {
+        assert_eq!(slope(&[2.0; 8]), 0.0);
+        assert_eq!(slope(&[]), 0.0);
+        assert_eq!(slope(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn tangent_at_clamps_neighborhood() {
+        let ramp: Vec<f64> = (0..5).map(|i| i as f64).collect();
+        // Even at the edges the clamped window still sees the ramp.
+        assert!((tangent_at(&ramp, 0, 2) - 1.0).abs() < 1e-12);
+        assert!((tangent_at(&ramp, 4, 2) - 1.0).abs() < 1e-12);
+        // Out-of-range index clamps to the last sample.
+        assert!((tangent_at(&ramp, 100, 2) - 1.0).abs() < 1e-12);
+        assert_eq!(tangent_at(&[], 0, 2), 0.0);
+    }
+
+    #[test]
+    fn kink_changes_tangent() {
+        // Flat then steep: tangents on either side of the kink differ.
+        let mut ys = vec![0.0; 10];
+        ys.extend((1..=10).map(|i| 5.0 * i as f64));
+        let flat = tangent_at(&ys, 4, 2);
+        let steep = tangent_at(&ys, 15, 2);
+        assert!(flat.abs() < 0.5);
+        assert!(steep > 4.0);
+        assert!(!tangents_close(flat, steep, 0.1));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The least-squares slope recovers the slope of any noiseless line.
+        #[test]
+        fn slope_recovers_lines(m in -100.0f64..100.0, b in -100.0f64..100.0, n in 2usize..64) {
+            let ys: Vec<f64> = (0..n).map(|i| m * i as f64 + b).collect();
+            prop_assert!((slope(&ys) - m).abs() < 1e-6 * (1.0 + m.abs()));
+        }
+
+        /// Adding a constant offset never changes the slope.
+        #[test]
+        fn slope_shift_invariant(
+            ys in proptest::collection::vec(-1e3f64..1e3, 2..64),
+            c in -1e3f64..1e3,
+        ) {
+            let shifted: Vec<f64> = ys.iter().map(|y| y + c).collect();
+            prop_assert!((slope(&ys) - slope(&shifted)).abs() < 1e-6);
+        }
+    }
+}

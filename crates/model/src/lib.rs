@@ -1,0 +1,49 @@
+//! Online metric-value prediction for FChain's normal-fluctuation modeling.
+//!
+//! FChain's slave module "employ\[s\] a light-weight online learning model
+//! \[PRESS, CNSM 2010\] to continuously learn the evolving pattern of each
+//! system metric value. ... The online learning model can capture the
+//! transition probability between different metric values using a discrete
+//! time Markov chain model" (paper §II.A–B).
+//!
+//! The implementation here follows that design:
+//!
+//! * metric values are quantized into a fixed number of bins
+//!   ([`Quantizer`]), with the range calibrated from an initial sample
+//!   prefix;
+//! * a bin-to-bin transition matrix is maintained online with exponential
+//!   decay ([`MarkovPredictor`]), so old behavior fades;
+//! * the one-step prediction from a bin is the expectation over its learned
+//!   transition row; **unseen** states (rows without enough mass) fall back
+//!   to the model's stationary expectation, which is what makes fault
+//!   manifestations — values the model has never seen — produce *large*
+//!   prediction errors even when they drift gradually;
+//! * [`OnlineLearner`] wires the pieces together and produces the causal
+//!   one-step-ahead prediction-error series the abnormal change point
+//!   selection consumes.
+//!
+//! # Examples
+//!
+//! ```
+//! use fchain_model::{LearnerConfig, OnlineLearner};
+//!
+//! // A periodic signal is learnable: late prediction errors are small.
+//! let signal: Vec<f64> = (0..600)
+//!     .map(|t| 50.0 + 10.0 * ((t % 60) as f64 / 60.0))
+//!     .collect();
+//! let mut learner = OnlineLearner::new(LearnerConfig::default());
+//! let errors = learner.train_errors(&signal);
+//! let late: f64 = errors[500..].iter().sum::<f64>() / 100.0;
+//! assert!(late < 3.0);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod learner;
+mod markov;
+mod quantizer;
+
+pub use learner::{LearnerConfig, OnlineLearner};
+pub use markov::{MarkovPredictor, Prediction, PredictionBasis};
+pub use quantizer::Quantizer;

@@ -1,0 +1,370 @@
+//! Discrete-time Markov chain over quantized metric values.
+
+use crate::Quantizer;
+use serde::{Deserialize, Serialize};
+
+/// What the prediction was based on, reported alongside the value so
+/// callers can distinguish learned behavior from fallbacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PredictionBasis {
+    /// The expectation over a transition row with sufficient learned mass.
+    Transition,
+    /// The current state's row is (nearly) unseen; the prediction fell back
+    /// to the model's stationary expectation. High prediction errors under
+    /// this basis are the fault-manifestation signal.
+    Stationary,
+    /// The model has seen no data at all; the prediction is the input value
+    /// itself (persistence).
+    Persistence,
+}
+
+/// A one-step value prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Prediction {
+    /// Predicted next value.
+    pub value: f64,
+    /// What the prediction was derived from.
+    pub basis: PredictionBasis,
+}
+
+/// Online discrete-time Markov chain predictor over quantized values
+/// (the PRESS-style model of paper §II.A–B).
+///
+/// Transition counts are updated on every observation and decayed
+/// exponentially so the model tracks the *evolving* normal pattern; the
+/// per-bin occupancy distribution doubles as the stationary fallback for
+/// unseen states.
+///
+/// # Examples
+///
+/// ```
+/// use fchain_model::{MarkovPredictor, Quantizer};
+///
+/// let mut m = MarkovPredictor::new(Quantizer::new(0.0, 100.0, 20), 0.999, 3.0);
+/// // Teach it a deterministic square wave: 20 <-> 80.
+/// for _ in 0..200 {
+///     m.observe(20.0);
+///     m.observe(80.0);
+/// }
+/// // From 20 the model expects ~80 next.
+/// let p = m.predict_from(20.0);
+/// assert!((p.value - 80.0).abs() < 5.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MarkovPredictor {
+    quantizer: Quantizer,
+    /// Row-major `bins x bins` decayed transition counts.
+    counts: Vec<f64>,
+    /// Per-row total mass (kept in sync with `counts`).
+    row_mass: Vec<f64>,
+    /// Decayed per-bin occupancy (stationary distribution estimate).
+    occupancy: Vec<f64>,
+    /// Per-observation decay factor applied to all masses.
+    decay: f64,
+    /// Minimum row mass required to trust a transition row.
+    min_row_mass: f64,
+    /// Lazy-decay weight of the *next* increment. Instead of multiplying
+    /// the whole matrix by `decay` on every observation (O(bins²)), new
+    /// observations are added with exponentially growing weight and all
+    /// reads divide by the current weight — an equivalent O(1) scheme.
+    weight: f64,
+    last_bin: Option<usize>,
+    observations: u64,
+}
+
+impl MarkovPredictor {
+    /// Creates a predictor.
+    ///
+    /// * `decay` — multiplicative decay applied to all learned mass per
+    ///   observation (e.g. `0.999` ≈ a ~1000-sample memory).
+    /// * `min_row_mass` — rows with less mass than this are treated as
+    ///   unseen and predictions fall back to the stationary expectation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `decay` is outside `(0, 1]` or `min_row_mass < 0`.
+    pub fn new(quantizer: Quantizer, decay: f64, min_row_mass: f64) -> Self {
+        assert!(decay > 0.0 && decay <= 1.0, "decay must be in (0, 1]");
+        assert!(min_row_mass >= 0.0, "min_row_mass must be non-negative");
+        let bins = quantizer.bins();
+        MarkovPredictor {
+            quantizer,
+            counts: vec![0.0; bins * bins],
+            row_mass: vec![0.0; bins],
+            occupancy: vec![0.0; bins],
+            decay,
+            min_row_mass,
+            weight: 1.0,
+            last_bin: None,
+            observations: 0,
+        }
+    }
+
+    /// The underlying quantizer.
+    #[inline]
+    pub fn quantizer(&self) -> &Quantizer {
+        &self.quantizer
+    }
+
+    /// Total observations fed to the model.
+    #[inline]
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Feeds one sample, updating the transition matrix and occupancy.
+    pub fn observe(&mut self, value: f64) {
+        let bin = self.quantizer.bin(value);
+        // Lazy exponential decay: instead of shrinking every stored count
+        // by `decay` (O(bins²) per sample), grow the weight of each new
+        // increment by `1/decay`. Ratios (transition probabilities,
+        // expectations) are unaffected; absolute masses are read through
+        // `effective_mass`.
+        if self.decay < 1.0 {
+            self.weight /= self.decay;
+            if self.weight > 1e12 {
+                let w = self.weight;
+                for c in &mut self.counts {
+                    *c /= w;
+                }
+                for m in &mut self.row_mass {
+                    *m /= w;
+                }
+                for o in &mut self.occupancy {
+                    *o /= w;
+                }
+                self.weight = 1.0;
+            }
+        }
+        if let Some(prev) = self.last_bin {
+            let bins = self.quantizer.bins();
+            self.counts[prev * bins + bin] += self.weight;
+            self.row_mass[prev] += self.weight;
+        }
+        self.occupancy[bin] += self.weight;
+        self.last_bin = Some(bin);
+        self.observations += 1;
+    }
+
+    /// Decay-adjusted mass of a stored quantity.
+    #[inline]
+    fn effective(&self, stored: f64) -> f64 {
+        stored / self.weight
+    }
+
+    /// Predicts the next value assuming the current value is `value`,
+    /// without updating the model.
+    pub fn predict_from(&self, value: f64) -> Prediction {
+        if self.observations == 0 {
+            return Prediction {
+                value,
+                basis: PredictionBasis::Persistence,
+            };
+        }
+        let bin = self.quantizer.bin(value);
+        let bins = self.quantizer.bins();
+        if self.effective(self.row_mass[bin]) >= self.min_row_mass && self.row_mass[bin] > 0.0 {
+            let row = &self.counts[bin * bins..(bin + 1) * bins];
+            let mut expect = 0.0;
+            for (j, &c) in row.iter().enumerate() {
+                expect += c / self.row_mass[bin] * self.quantizer.center(j);
+            }
+            Prediction {
+                value: expect,
+                basis: PredictionBasis::Transition,
+            }
+        } else {
+            Prediction {
+                value: self.stationary_expectation(),
+                basis: PredictionBasis::Stationary,
+            }
+        }
+    }
+
+    /// Predicts the next value from the model's internal current state
+    /// (the last observed sample).
+    pub fn predict_next(&self) -> Prediction {
+        match self.last_bin {
+            None => Prediction {
+                value: 0.0,
+                basis: PredictionBasis::Persistence,
+            },
+            Some(bin) => self.predict_from(self.quantizer.center(bin)),
+        }
+    }
+
+    /// Predicts `n` steps ahead by iterating the one-step expectation
+    /// (PRESS uses multi-step lookahead for scaling decisions; FChain only
+    /// needs one step but the capability is part of the model).
+    pub fn predict_n_from(&self, value: f64, n: usize) -> Prediction {
+        let mut current = value;
+        let mut basis = PredictionBasis::Persistence;
+        for _ in 0..n {
+            let p = self.predict_from(current);
+            current = p.value;
+            basis = p.basis;
+        }
+        Prediction {
+            value: current,
+            basis,
+        }
+    }
+
+    /// Expectation of the decayed occupancy distribution — the model's
+    /// notion of "a typical value".
+    pub fn stationary_expectation(&self) -> f64 {
+        let total: f64 = self.occupancy.iter().sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.occupancy
+            .iter()
+            .enumerate()
+            .map(|(j, &o)| o / total * self.quantizer.center(j))
+            .sum()
+    }
+
+    /// The learned transition probability `P(next = b2 | current = b1)`,
+    /// or `None` if the row is unseen.
+    pub fn transition_probability(&self, b1: usize, b2: usize) -> Option<f64> {
+        let bins = self.quantizer.bins();
+        assert!(b1 < bins && b2 < bins, "bin out of range");
+        if self.row_mass[b1] <= 0.0 {
+            return None;
+        }
+        Some(self.counts[b1 * bins + b2] / self.row_mass[b1])
+    }
+
+    /// Whether the state holding `value` has enough learned mass to be
+    /// considered "seen".
+    pub fn is_seen_state(&self, value: f64) -> bool {
+        let bin = self.quantizer.bin(value);
+        self.effective(self.row_mass[bin]) >= self.min_row_mass && self.row_mass[bin] > 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_wave_model() -> MarkovPredictor {
+        let mut m = MarkovPredictor::new(Quantizer::new(0.0, 100.0, 20), 1.0, 3.0);
+        for _ in 0..100 {
+            m.observe(20.0);
+            m.observe(80.0);
+        }
+        m
+    }
+
+    #[test]
+    fn learns_deterministic_transitions() {
+        let m = square_wave_model();
+        assert!((m.predict_from(20.0).value - 80.0).abs() < 5.0);
+        assert!((m.predict_from(80.0).value - 20.0).abs() < 5.0);
+        assert_eq!(m.predict_from(20.0).basis, PredictionBasis::Transition);
+    }
+
+    #[test]
+    fn unseen_state_falls_back_to_stationary() {
+        let m = square_wave_model();
+        let p = m.predict_from(95.0); // never visited
+        assert_eq!(p.basis, PredictionBasis::Stationary);
+        // Stationary expectation of the 20/80 square wave is ~50.
+        assert!((p.value - 50.0).abs() < 6.0, "value {}", p.value);
+        assert!(!m.is_seen_state(95.0));
+        assert!(m.is_seen_state(20.0));
+    }
+
+    #[test]
+    fn empty_model_uses_persistence() {
+        let m = MarkovPredictor::new(Quantizer::new(0.0, 100.0, 10), 0.999, 3.0);
+        let p = m.predict_from(42.0);
+        assert_eq!(p.basis, PredictionBasis::Persistence);
+        assert_eq!(p.value, 42.0);
+        assert_eq!(m.observations(), 0);
+    }
+
+    #[test]
+    fn transition_probabilities_normalize() {
+        let m = square_wave_model();
+        let b20 = m.quantizer().bin(20.0);
+        let total: f64 = (0..20)
+            .map(|j| m.transition_probability(b20, j).unwrap())
+            .sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        let empty = m.quantizer().bin(99.0);
+        assert_eq!(m.transition_probability(empty, 0), None);
+    }
+
+    #[test]
+    fn decay_fades_old_behavior() {
+        let mut m = MarkovPredictor::new(Quantizer::new(0.0, 100.0, 20), 0.95, 0.5);
+        // Phase 1: square wave 20 <-> 80.
+        for _ in 0..100 {
+            m.observe(20.0);
+            m.observe(80.0);
+        }
+        // Phase 2: constant 50, long enough for phase-1 mass to decay away.
+        for _ in 0..300 {
+            m.observe(50.0);
+        }
+        let p = m.predict_from(50.0);
+        assert_eq!(p.basis, PredictionBasis::Transition);
+        assert!((p.value - 50.0).abs() < 5.0);
+        // The 20 -> 80 row has decayed to near nothing.
+        assert!(!m.is_seen_state(20.0));
+    }
+
+    #[test]
+    fn predict_n_iterates() {
+        let m = square_wave_model();
+        // Two steps from 20 comes back near 20.
+        let p2 = m.predict_n_from(20.0, 2);
+        assert!((p2.value - 20.0).abs() < 8.0, "value {}", p2.value);
+    }
+
+    #[test]
+    fn predict_next_uses_last_observation() {
+        let mut m = square_wave_model();
+        m.observe(20.0);
+        let p = m.predict_next();
+        assert!((p.value - 80.0).abs() < 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay")]
+    fn bad_decay_panics() {
+        let _ = MarkovPredictor::new(Quantizer::new(0.0, 1.0, 2), 0.0, 1.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Predictions always stay within the quantizer range once trained,
+        /// and transition rows remain normalized.
+        #[test]
+        fn predictions_bounded(values in proptest::collection::vec(0.0f64..100.0, 2..300)) {
+            let mut m = MarkovPredictor::new(Quantizer::new(0.0, 100.0, 16), 0.999, 2.0);
+            for &v in &values {
+                m.observe(v);
+            }
+            for probe in [0.0, 25.0, 50.0, 75.0, 100.0] {
+                let p = m.predict_from(probe);
+                prop_assert!(p.value >= 0.0 && p.value <= 100.0);
+            }
+            for b1 in 0..16 {
+                if let Some(first) = m.transition_probability(b1, 0) {
+                    let mut total = first;
+                    for b2 in 1..16 {
+                        total += m.transition_probability(b1, b2).unwrap();
+                    }
+                    prop_assert!((total - 1.0).abs() < 1e-6);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Value quantization for the discrete-time Markov chain.
+
+use serde::{Deserialize, Serialize};
+
+/// Maps continuous metric values to a fixed number of equal-width bins over
+/// `[lo, hi]`, clamping out-of-range values into the end bins.
+///
+/// Clamping is deliberate: a metric driven far outside its calibrated
+/// normal range by a fault lands in an edge bin whose transition row has
+/// little or no learned mass, so the predictor falls back to its stationary
+/// expectation and reports a large prediction error — exactly the signal
+/// FChain's abnormal change point selection needs.
+///
+/// # Examples
+///
+/// ```
+/// use fchain_model::Quantizer;
+///
+/// let q = Quantizer::new(0.0, 100.0, 10);
+/// assert_eq!(q.bin(5.0), 0);
+/// assert_eq!(q.bin(95.0), 9);
+/// assert_eq!(q.bin(-50.0), 0); // clamped
+/// assert_eq!(q.center(0), 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Quantizer {
+    lo: f64,
+    hi: f64,
+    bins: usize,
+}
+
+impl Quantizer {
+    /// Creates a quantizer with `bins` equal-width bins over `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0`, if the bounds are not finite, or if
+    /// `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "quantizer needs at least one bin");
+        assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
+        assert!(hi > lo, "quantizer range must be non-empty");
+        Quantizer { lo, hi, bins }
+    }
+
+    /// Calibrates a quantizer from an observed sample prefix, expanding the
+    /// observed range by `margin` (e.g. `0.25` adds 25 % headroom on each
+    /// side) so that routine fluctuation beyond the prefix still lands in
+    /// interior bins.
+    ///
+    /// Degenerate (constant or empty) prefixes get a unit range around the
+    /// value.
+    pub fn calibrate(samples: &[f64], bins: usize, margin: f64) -> Self {
+        let lo = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let (lo, hi) = if lo.is_finite() && hi.is_finite() && hi > lo {
+            let span = hi - lo;
+            (lo - span * margin, hi + span * margin)
+        } else if lo.is_finite() {
+            (lo - 0.5, lo + 0.5)
+        } else {
+            (0.0, 1.0)
+        };
+        Quantizer::new(lo, hi, bins)
+    }
+
+    /// Number of bins.
+    #[inline]
+    pub fn bins(&self) -> usize {
+        self.bins
+    }
+
+    /// The calibrated `[lo, hi]` range.
+    #[inline]
+    pub fn range(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+
+    /// The bin index of a value (clamped into `[0, bins)`).
+    #[inline]
+    pub fn bin(&self, v: f64) -> usize {
+        let span = self.hi - self.lo;
+        let idx = ((v - self.lo) / span * self.bins as f64).floor();
+        idx.clamp(0.0, (self.bins - 1) as f64) as usize
+    }
+
+    /// The representative (center) value of a bin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin >= bins`.
+    #[inline]
+    pub fn center(&self, bin: usize) -> f64 {
+        assert!(bin < self.bins, "bin {bin} out of range ({})", self.bins);
+        let width = (self.hi - self.lo) / self.bins as f64;
+        self.lo + width * (bin as f64 + 0.5)
+    }
+
+    /// Whether a value lies outside the calibrated range (i.e. would be
+    /// clamped).
+    #[inline]
+    pub fn is_out_of_range(&self, v: f64) -> bool {
+        v < self.lo || v > self.hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_partition_the_range() {
+        let q = Quantizer::new(0.0, 10.0, 5);
+        assert_eq!(q.bin(0.0), 0);
+        assert_eq!(q.bin(1.99), 0);
+        assert_eq!(q.bin(2.0), 1);
+        assert_eq!(q.bin(9.99), 4);
+        assert_eq!(q.bin(10.0), 4); // hi clamps into last bin
+        assert_eq!(q.bins(), 5);
+    }
+
+    #[test]
+    fn centers_are_midpoints() {
+        let q = Quantizer::new(0.0, 10.0, 5);
+        assert_eq!(q.center(0), 1.0);
+        assert_eq!(q.center(4), 9.0);
+    }
+
+    #[test]
+    fn out_of_range_detection() {
+        let q = Quantizer::new(0.0, 10.0, 5);
+        assert!(q.is_out_of_range(-0.1));
+        assert!(q.is_out_of_range(10.1));
+        assert!(!q.is_out_of_range(5.0));
+    }
+
+    #[test]
+    fn calibrate_adds_margin() {
+        let q = Quantizer::calibrate(&[10.0, 20.0], 4, 0.25);
+        assert_eq!(q.range(), (7.5, 22.5));
+    }
+
+    #[test]
+    fn calibrate_handles_degenerate_input() {
+        let q = Quantizer::calibrate(&[5.0, 5.0], 4, 0.25);
+        assert_eq!(q.range(), (4.5, 5.5));
+        let q = Quantizer::calibrate(&[], 4, 0.25);
+        assert_eq!(q.range(), (0.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        let _ = Quantizer::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn inverted_range_panics() {
+        let _ = Quantizer::new(1.0, 0.0, 4);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// bin() is total, in range, and monotone in the value.
+        #[test]
+        fn bin_monotone(
+            lo in -1e3f64..1e3,
+            span in 0.1f64..1e3,
+            bins in 1usize..64,
+            a in -2e3f64..2e3,
+            b in -2e3f64..2e3,
+        ) {
+            let q = Quantizer::new(lo, lo + span, bins);
+            let (ba, bb) = (q.bin(a), q.bin(b));
+            prop_assert!(ba < bins && bb < bins);
+            if a <= b {
+                prop_assert!(ba <= bb);
+            }
+        }
+
+        /// center(bin(v)) is within half a bin width of in-range values.
+        #[test]
+        fn center_roundtrip(
+            v in 0.0f64..100.0,
+            bins in 1usize..64,
+        ) {
+            let q = Quantizer::new(0.0, 100.0, bins);
+            let width = 100.0 / bins as f64;
+            let c = q.center(q.bin(v));
+            prop_assert!((c - v).abs() <= width / 2.0 + 1e-9);
+        }
+    }
+}

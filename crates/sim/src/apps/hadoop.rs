@@ -1,0 +1,81 @@
+//! The Hadoop sorting job (3 map nodes + 6 reduce nodes, 12 GB input).
+
+use crate::slo::SloSpec;
+use crate::topology::{AppKind, AppModel, ComponentSpec, Role};
+use fchain_deps::DependencyGraph;
+use fchain_metrics::ComponentId;
+
+/// Builds the Hadoop sort model of §III.A: 3 map nodes (`map0..map2`,
+/// ids 0–2) and 6 reduce nodes (`reduce0..reduce5`, ids 3–8). Every map
+/// shuffles to every reduce, so the dataflow is a complete bipartite
+/// map → reduce graph. Map nodes are the most upstream components, which
+/// is why the topology/dependency baselines do well here (no
+/// back-pressure inversion, §III.C).
+pub fn hadoop() -> AppModel {
+    let mut components = Vec::with_capacity(9);
+    for i in 0..3 {
+        components.push(ComponentSpec::new(format!("map{i}"), Role::MapNode));
+    }
+    for i in 0..6 {
+        components.push(ComponentSpec::new(format!("reduce{i}"), Role::ReduceNode));
+    }
+    let mut dataflow = DependencyGraph::new();
+    for m in 0..3u32 {
+        for r in 3..9u32 {
+            dataflow.add_edge(ComponentId(m), ComponentId(r));
+        }
+    }
+    AppModel {
+        kind: AppKind::Hadoop,
+        components,
+        dataflow,
+        downstream_delay: (6, 18),
+        backpressure_delay: (8, 20),
+        downstream_attenuation: 0.55,
+        backpressure_attenuation: 0.5,
+        slo: SloSpec::hadoop(),
+        continuous_traffic: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_maps_six_reduces() {
+        let m = hadoop();
+        assert_eq!(m.len(), 9);
+        assert_eq!(
+            m.components.iter().filter(|c| c.role == Role::MapNode).count(),
+            3
+        );
+        assert_eq!(
+            m.components
+                .iter()
+                .filter(|c| c.role == Role::ReduceNode)
+                .count(),
+            6
+        );
+    }
+
+    #[test]
+    fn complete_bipartite_shuffle() {
+        let m = hadoop();
+        assert_eq!(m.dataflow.edge_count(), 18);
+        for map in 0..3u32 {
+            for red in 3..9u32 {
+                assert!(m.dataflow.has_edge(ComponentId(map), ComponentId(red)));
+                assert!(!m.dataflow.has_edge(ComponentId(red), ComponentId(map)));
+            }
+        }
+    }
+
+    #[test]
+    fn maps_are_most_upstream() {
+        let m = hadoop();
+        for map in 0..3u32 {
+            assert!(m.dataflow.dependents_of(ComponentId(map)).is_empty());
+        }
+    }
+}

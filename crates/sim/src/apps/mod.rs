@@ -1,0 +1,53 @@
+//! The three benchmark application models of the paper's evaluation.
+
+mod hadoop;
+mod rubis;
+mod systems;
+
+pub use hadoop::hadoop;
+pub use rubis::rubis;
+pub use systems::systems;
+
+use crate::topology::{AppKind, AppModel};
+
+/// The model for an [`AppKind`].
+pub fn model_for(kind: AppKind) -> AppModel {
+    match kind {
+        AppKind::Rubis => rubis(),
+        AppKind::Hadoop => hadoop(),
+        AppKind::SystemS => systems(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fchain_metrics::ComponentId;
+
+    #[test]
+    fn model_for_dispatches() {
+        assert_eq!(model_for(AppKind::Rubis).kind, AppKind::Rubis);
+        assert_eq!(model_for(AppKind::Hadoop).len(), 9);
+        assert_eq!(model_for(AppKind::SystemS).len(), 7);
+    }
+
+    #[test]
+    fn all_models_are_weakly_connected() {
+        for kind in [AppKind::Rubis, AppKind::Hadoop, AppKind::SystemS] {
+            let m = model_for(kind);
+            for i in 1..m.len() as u32 {
+                assert!(
+                    m.dataflow.connected(ComponentId(0), ComponentId(i)),
+                    "{kind}: component {i} disconnected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stream_traffic_flag() {
+        assert!(!model_for(AppKind::Rubis).continuous_traffic);
+        assert!(!model_for(AppKind::Hadoop).continuous_traffic);
+        assert!(model_for(AppKind::SystemS).continuous_traffic);
+    }
+}

@@ -1,0 +1,76 @@
+//! The RUBiS three-tier online auction benchmark (EJB version).
+
+use crate::slo::SloSpec;
+use crate::topology::{AppKind, AppModel, ComponentSpec, Role};
+use fchain_deps::DependencyGraph;
+use fchain_metrics::ComponentId;
+
+/// Builds the RUBiS model of paper Fig. 5:
+///
+/// ```text
+/// clients -> web(0) -> app1(1) -> db(3)
+///                   -> app2(2) -> db(3)
+/// ```
+///
+/// Requests flow web → app → db; anomalies additionally travel upstream by
+/// back-pressure (a faulty database stalls the application servers, which
+/// stall the web tier). The two application servers are *independent* of
+/// each other — the spurious-propagation example of §II.C.
+pub fn rubis() -> AppModel {
+    let components = vec![
+        ComponentSpec::new("web", Role::WebServer),
+        ComponentSpec::new("app1", Role::AppServer),
+        ComponentSpec::new("app2", Role::AppServer),
+        ComponentSpec::new("db", Role::Database),
+    ];
+    let dataflow = DependencyGraph::from_edges([
+        (ComponentId(0), ComponentId(1)), // web -> app1
+        (ComponentId(0), ComponentId(2)), // web -> app2
+        (ComponentId(1), ComponentId(3)), // app1 -> db
+        (ComponentId(2), ComponentId(3)), // app2 -> db
+    ]);
+    AppModel {
+        kind: AppKind::Rubis,
+        components,
+        dataflow,
+        downstream_delay: (5, 14),
+        backpressure_delay: (5, 16),
+        downstream_attenuation: 0.6,
+        backpressure_attenuation: 0.65,
+        slo: SloSpec::rubis(),
+        continuous_traffic: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_matches_fig5() {
+        let m = rubis();
+        assert_eq!(m.len(), 4);
+        let web = m.component_named("web");
+        let app1 = m.component_named("app1");
+        let app2 = m.component_named("app2");
+        let db = m.component_named("db");
+        assert!(m.dataflow.has_edge(web, app1));
+        assert!(m.dataflow.has_edge(web, app2));
+        assert!(m.dataflow.has_edge(app1, db));
+        assert!(m.dataflow.has_edge(app2, db));
+        assert_eq!(m.dataflow.edge_count(), 4);
+        // The two app servers are independent (no directed path).
+        assert!(!m.dataflow.has_directed_path(app1, app2));
+        assert!(!m.dataflow.has_directed_path(app2, app1));
+    }
+
+    #[test]
+    fn propagation_delays_are_multi_second() {
+        // §II.B footnote: "all of the anomaly propagation delays between
+        // two dependent components are at least several seconds".
+        let m = rubis();
+        assert!(m.downstream_delay.0 >= 2);
+        assert!(m.backpressure_delay.0 >= 2);
+        assert!(m.downstream_delay.1 >= m.downstream_delay.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! The IBM System S tax-calculation stream application (7 PEs).
+
+use crate::slo::SloSpec;
+use crate::topology::{AppKind, AppModel, ComponentSpec, Role};
+use fchain_deps::DependencyGraph;
+use fchain_metrics::ComponentId;
+
+/// Builds the 7-PE stream topology of paper Fig. 2. Component ids follow
+/// PE numbering minus one (`PE1` = id 0, ..., `PE7` = id 6). The dataflow
+/// DAG is wired so the figure's propagation example holds: a fault at PE3
+/// reaches PE6 downstream (PE3 → PE6) and then PE2 via back-pressure
+/// (PE2 → PE6 dataflow, so a congested PE6 stalls PE2):
+///
+/// ```text
+/// PE1 -> PE2 -> PE6 -> PE7
+/// PE1 -> PE3 -> PE6
+///        PE3 -> PE4 -> PE5 -> PE7
+/// ```
+///
+/// Stream traffic is continuous (one tuple batch per tick, no gaps), so
+/// black-box dependency discovery finds nothing here (§II.C), and
+/// propagation is much faster than in request/reply systems — the reason
+/// every scheme struggles with the Bottleneck fault (§III.B).
+pub fn systems() -> AppModel {
+    let components = (1..=7)
+        .map(|i| ComponentSpec::new(format!("PE{i}"), Role::StreamPe))
+        .collect();
+    let pe = |n: u32| ComponentId(n - 1);
+    let dataflow = DependencyGraph::from_edges([
+        (pe(1), pe(2)),
+        (pe(1), pe(3)),
+        (pe(2), pe(6)),
+        (pe(3), pe(6)),
+        (pe(3), pe(4)),
+        (pe(4), pe(5)),
+        (pe(5), pe(7)),
+        (pe(6), pe(7)),
+    ]);
+    AppModel {
+        kind: AppKind::SystemS,
+        components,
+        dataflow,
+        downstream_delay: (3, 6),
+        backpressure_delay: (3, 7),
+        downstream_attenuation: 0.7,
+        backpressure_attenuation: 0.7,
+        slo: SloSpec::systems(),
+        continuous_traffic: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pe(n: u32) -> ComponentId {
+        ComponentId(n - 1)
+    }
+
+    #[test]
+    fn seven_pes() {
+        let m = systems();
+        assert_eq!(m.len(), 7);
+        assert_eq!(m.component_named("PE3"), pe(3));
+        assert!(m.components.iter().all(|c| c.role == Role::StreamPe));
+    }
+
+    #[test]
+    fn fig2_propagation_path_is_wired() {
+        let m = systems();
+        // Fault at PE3 reaches PE6 downstream...
+        assert!(m.dataflow.has_edge(pe(3), pe(6)));
+        // ...and PE2 feeds PE6, so back-pressure from PE6 reaches PE2.
+        assert!(m.dataflow.has_edge(pe(2), pe(6)));
+        // PE2 is NOT downstream of PE3 — only back-pressure explains the
+        // PE6 -> PE2 leg of Fig. 2.
+        assert!(!m.dataflow.has_directed_path(pe(3), pe(2)));
+    }
+
+    #[test]
+    fn stream_propagation_is_fast() {
+        let m = systems();
+        assert!(m.downstream_delay.1 <= 6);
+        assert!(m.backpressure_delay.1 <= 8);
+        assert!(m.continuous_traffic);
+    }
+
+    #[test]
+    fn dag_has_source_and_sink() {
+        let m = systems();
+        assert!(m.dataflow.dependents_of(pe(1)).is_empty(), "PE1 is the source");
+        assert!(m.dataflow.dependencies_of(pe(7)).is_empty(), "PE7 is the sink");
+    }
+}

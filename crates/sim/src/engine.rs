@@ -1,0 +1,606 @@
+//! The discrete-time simulation engine.
+
+use crate::apps;
+use crate::faults::InjectedFault;
+use crate::netsim;
+use crate::profile::MetricProfile;
+use crate::run::{RunConfig, RunRecord, ScalingOracle};
+use crate::slo::SloStatus;
+use crate::topology::{AppKind, Role};
+use crate::workload::{HadoopPhases, WebTrace, Workload};
+use fchain_metrics::{MetricKind, Tick, TimeSeries};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runs one application run tick by tick and records everything FChain and
+/// the baselines will consume.
+///
+/// The anomaly state of each component is a level in `[0, 1]`:
+///
+/// * faulty components follow their fault's severity curve;
+/// * other components receive *propagated* levels — downstream along
+///   dataflow edges (a faulty caller changes the load its callees see) and
+///   upstream via back-pressure (a faulty callee stalls its callers) —
+///   each hop attenuated and delayed by several seconds;
+/// * propagated anomalies manifest as sharp queue-style metric distortion
+///   (CPU oscillation, memory buildup, throughput collapse), in contrast
+///   to the smooth ramps of gradual culprits. This asymmetry is what
+///   separates FChain from the magnitude-outlier baselines in the paper's
+///   evaluation.
+///
+/// # Examples
+///
+/// ```
+/// use fchain_sim::{AppKind, FaultKind, RunConfig, Simulator};
+///
+/// let record = Simulator::new(
+///     RunConfig::new(AppKind::Rubis, FaultKind::MemLeak, 11).with_duration(1500),
+/// )
+/// .run();
+/// assert_eq!(record.component_count(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    cfg: RunConfig,
+}
+
+/// Threshold an anomaly level must reach before it starts propagating.
+const PROPAGATION_THRESHOLD: f64 = 0.25;
+/// Propagated level below which a component shows no visible effect.
+const VISIBLE_LEVEL: f64 = 0.05;
+
+impl Simulator {
+    /// Creates a simulator for a run configuration.
+    pub fn new(cfg: RunConfig) -> Self {
+        Simulator { cfg }
+    }
+
+    /// The configuration this simulator will run.
+    pub fn config(&self) -> &RunConfig {
+        &self.cfg
+    }
+
+    /// Executes the run.
+    pub fn run(&self) -> RunRecord {
+        let cfg = &self.cfg;
+        let model = apps::model_for(cfg.app);
+        let n = model.len();
+        let duration = cfg.duration;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        // --- Fault resolution -------------------------------------------
+        let fault_start = {
+            let lo = (duration as f64 * cfg.fault_window.0) as Tick;
+            let hi = (duration as f64 * cfg.fault_window.1) as Tick;
+            rng.gen_range(lo..=hi.max(lo))
+        };
+        let targets = match &cfg.targets {
+            Some(t) => t.clone(),
+            None => cfg.fault.resolve_targets(&model, &mut rng),
+        };
+        let fault = InjectedFault {
+            kind: cfg.fault,
+            targets: targets.clone(),
+            start: fault_start,
+        };
+
+        // --- Per-run randomized structure --------------------------------
+        let edges = model.dataflow.edges();
+        // A hard CPU cap on a stream PE exhausts buffers almost instantly;
+        // the Bottleneck fault propagates at half the usual delays, which
+        // is what makes it the hardest case for every scheme (§III.B).
+        let delay_div = if cfg.fault.signature() == crate::faults::FaultKind::Bottleneck {
+            2
+        } else {
+            1
+        };
+        let dn_delay: Vec<u64> = edges
+            .iter()
+            .map(|_| (rng.gen_range(model.downstream_delay.0..=model.downstream_delay.1) / delay_div).max(1))
+            .collect();
+        let bp_delay: Vec<u64> = edges
+            .iter()
+            .map(|_| (rng.gen_range(model.backpressure_delay.0..=model.backpressure_delay.1) / delay_div).max(1))
+            .collect();
+        let comp_lag: Vec<u64> = (0..n).map(|_| rng.gen_range(0..3)).collect();
+        let osc_phase: Vec<f64> = (0..n)
+            .map(|_| rng.gen_range(0.0..std::f64::consts::TAU))
+            .collect();
+
+        let workload: Box<dyn Workload> = match &cfg.workload_replay {
+            Some(series) => Box::new(crate::workload::ReplayTrace::from_intensities(
+                series.clone(),
+            )),
+            None => match cfg.app {
+                AppKind::Rubis => Box::new(WebTrace::nasa_like(cfg.seed ^ 0xA11CE, duration)),
+                AppKind::SystemS => {
+                    Box::new(WebTrace::clarknet_like(cfg.seed ^ 0xA11CE, duration))
+                }
+                AppKind::Hadoop => Box::new(HadoopPhases::new(duration)),
+            },
+        };
+        // Extra modulation trace so Hadoop phases also carry short-term
+        // workload texture.
+        let modulation = WebTrace::nasa_like(cfg.seed ^ 0xB0B, duration);
+        // Multi-tenant interference: each host (two components per host)
+        // shares one neighbor-tenant activity trace; it bleeds mildly into
+        // CPU and disk, like the co-located benchmarks of §III.A.
+        let interference: Vec<WebTrace> = if cfg.multi_tenant {
+            (0..n.div_ceil(2))
+                .map(|h| WebTrace::clarknet_like(cfg.seed ^ (0xC0FFEE + h as u64), duration))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let hadoop_phases = HadoopPhases::new(duration);
+
+        let profiles: Vec<MetricProfile> = model
+            .components
+            .iter()
+            .map(|c| MetricProfile::for_role(c.role))
+            .collect();
+
+        // --- State --------------------------------------------------------
+        // total_level[c][t] = max(fault severity, propagated level).
+        let mut total_level: Vec<Vec<f64>> = vec![Vec::with_capacity(duration as usize); n];
+        let mut prop_level: Vec<Vec<f64>> = vec![Vec::with_capacity(duration as usize); n];
+        let mut series: Vec<Vec<TimeSeries>> = (0..n)
+            .map(|_| (0..6).map(|_| TimeSeries::new(0)).collect())
+            .collect();
+        let mut slo_series = TimeSeries::new(0);
+        let mut slo = SloStatus::new(model.slo.clone());
+        let mut packets = Vec::new();
+        // Active burst state per (component, metric): (length, age, peak).
+        let mut bursts = vec![[(0u32, 0u32, 0.0f64); 6]; n];
+        // Active glitch per component: (metric index, remaining, amplitude).
+        let mut glitch: Vec<Option<(usize, u32, f64)>> = vec![None; n];
+
+        let target_index = |c: usize| targets.iter().position(|t| t.index() == c);
+        let is_surge = cfg.fault == crate::faults::FaultKind::WorkloadSurge;
+
+        for t in 0..duration {
+            // An external workload surge overdrives every component's load
+            // term simultaneously (it is not a component fault: no target,
+            // no propagation — the shared client population just grew).
+            let surge = if is_surge && t >= fault_start {
+                1.0 + 0.8 * cfg.fault.severity(t - fault_start)
+            } else {
+                1.0
+            };
+            // 1. Anomaly levels.
+            for c in 0..n {
+                let sev = match target_index(c) {
+                    Some(_) if t >= fault_start => cfg.fault.severity(t - fault_start),
+                    _ => 0.0,
+                };
+                // Propagation from previous ticks (delays >= 1 tick keep the
+                // recurrence causal).
+                let mut prop: f64 = 0.0;
+                for (e, &(src, dst)) in edges.iter().enumerate() {
+                    // Downstream: src sent anomalous traffic to dst == c.
+                    if dst.index() == c {
+                        let d = dn_delay[e];
+                        if t >= d {
+                            let lvl = total_level[src.index()]
+                                .get((t - d) as usize)
+                                .copied()
+                                .unwrap_or(0.0);
+                            if lvl >= PROPAGATION_THRESHOLD {
+                                prop = prop.max(model.downstream_attenuation * lvl);
+                            }
+                        }
+                    }
+                    // Back-pressure: c sends to dst and dst is congested.
+                    if src.index() == c {
+                        let d = bp_delay[e];
+                        if t >= d {
+                            let lvl = total_level[dst.index()]
+                                .get((t - d) as usize)
+                                .copied()
+                                .unwrap_or(0.0);
+                            if lvl >= PROPAGATION_THRESHOLD {
+                                prop = prop.max(model.backpressure_attenuation * lvl);
+                            }
+                        }
+                    }
+                }
+                prop_level[c].push(prop);
+                total_level[c].push(sev.max(prop));
+            }
+
+            // 2. Metrics.
+            for c in 0..n {
+                let role = model.components[c].role;
+                let activity = surge
+                    * match cfg.app {
+                        AppKind::Hadoop => {
+                            let phase = match role {
+                                Role::MapNode => hadoop_phases.map_activity(t),
+                                _ => hadoop_phases.reduce_activity(t),
+                            };
+                            (phase * (0.75 + 0.5 * modulation.intensity(t))).clamp(0.0, 1.0)
+                        }
+                        _ => workload.intensity(t.saturating_sub(comp_lag[c])),
+                    };
+                let profile = &profiles[c];
+                let sev = match target_index(c) {
+                    Some(_) if t >= fault_start => cfg.fault.severity(t - fault_start),
+                    _ => 0.0,
+                };
+                let prop = prop_level[c][t as usize];
+
+                // Glitch lifecycle.
+                if glitch[c].is_none() && rng.gen::<f64>() < cfg.glitch_rate {
+                    let m = rng.gen_range(0..6usize);
+                    let scale = profile.base[m] + profile.load_gain[m];
+                    let amp = scale * rng.gen_range(1.5..3.0);
+                    let len = rng.gen_range(8..20u32);
+                    glitch[c] = Some((m, len, amp));
+                }
+
+                for kind in MetricKind::ALL {
+                    let k = kind.index();
+                    // Normal behavior: base + load + noise + burst.
+                    let gauss: f64 = (0..4).map(|_| rng.gen::<f64>() - 0.5).sum::<f64>() / 2.0;
+                    let mut v =
+                        profile.base[k] + profile.load_gain[k] * activity + profile.noise[k] * gauss * 3.0;
+                    // Normal bursts ramp up and drain over ~3 ticks so the
+                    // online model can learn them (isolated discontinuities
+                    // would be indistinguishable from faults).
+                    let (len, age, peak) = bursts[c][k];
+                    if len == 0 && rng.gen::<f64>() < profile.burstiness[k] {
+                        bursts[c][k] = (
+                            6 + rng.gen_range(0..6),
+                            0,
+                            profile.burst_amp[k] * profile.load_gain[k] * rng.gen_range(0.85..1.15),
+                        );
+                    } else if len > 0 {
+                        let rise = (age as f64 + 1.0) / 3.0;
+                        let fall = (len - age) as f64 / 3.0;
+                        v += peak * rise.min(fall).min(1.0);
+                        if age + 1 >= len {
+                            bursts[c][k] = (0, 0, 0.0);
+                        } else {
+                            bursts[c][k] = (len, age + 1, peak);
+                        }
+                    }
+
+                    if cfg.multi_tenant {
+                        let tenant = interference[c / 2].intensity(t);
+                        match kind {
+                            MetricKind::Cpu => v += 6.0 * tenant,
+                            MetricKind::DiskRead | MetricKind::DiskWrite => {
+                                v += 0.08 * profile.load_gain[k] * tenant
+                            }
+                            _ => {}
+                        }
+                    }
+
+                    // Fault signature on targets; queue-style distortion on
+                    // propagated components.
+                    if let Some(idx) = target_index(c) {
+                        if sev > 0.0 {
+                            v = cfg.fault.apply(idx, sev, kind, v, t);
+                        }
+                    } else if prop > VISIBLE_LEVEL {
+                        v = affected_transform(kind, v, prop, t, osc_phase[c]);
+                    }
+
+                    // Rare transient glitch.
+                    if let Some((gm, left, amp)) = glitch[c] {
+                        if gm == k {
+                            v += amp;
+                        }
+                        if left == 0 {
+                            glitch[c] = None;
+                        } else {
+                            glitch[c] = Some((gm, left - 1, amp));
+                        }
+                    }
+
+                    // Physical clamps.
+                    let v = match kind {
+                        MetricKind::Cpu => v.clamp(0.0, 100.0),
+                        _ => v.max(0.0),
+                    };
+                    series[c][k].push(v);
+                }
+            }
+
+            // 3. SLO.
+            let mut worst = (0..n)
+                .map(|c| total_level[c][t as usize])
+                .fold(0.0f64, f64::max);
+            if is_surge && t >= fault_start {
+                // Overload saturates queues everywhere; the SLO reacts to
+                // the surge itself.
+                worst = worst.max(0.8 * cfg.fault.severity(t - fault_start));
+            }
+            let slo_noise: f64 = ((0..4).map(|_| rng.gen::<f64>() - 0.5).sum::<f64>() / 2.0) * 4.0;
+            let value = slo.step(t, worst, slo_noise);
+            slo_series.push(value);
+
+            // 4. Network traffic (reduced on anomalous edges).
+            let edge_tp: Vec<f64> = edges
+                .iter()
+                .map(|&(a, b)| {
+                    let lvl = total_level[a.index()][t as usize]
+                        .max(total_level[b.index()][t as usize]);
+                    1.0 - 0.7 * lvl
+                })
+                .collect();
+            netsim::emit_tick(&model, t, workload.intensity(t), &edge_tp, &mut rng, &mut packets);
+        }
+
+        let oracle = ScalingOracle::new(&fault, cfg.seed, cfg.validation_error_prob);
+        RunRecord {
+            model,
+            series,
+            slo: slo_series,
+            violation_at: slo.violation_at(),
+            fault,
+            packets,
+            oracle,
+            seed: cfg.seed,
+        }
+    }
+}
+
+/// Queue-style distortion on a component that receives a propagated
+/// anomaly: sharp CPU oscillation, memory buildup, throughput collapse.
+fn affected_transform(kind: MetricKind, normal: f64, level: f64, t: Tick, phase: f64) -> f64 {
+    let osc = 0.7 + 0.45 * (std::f64::consts::TAU * t as f64 / 6.0 + phase).sin();
+    match kind {
+        // Stalled request handlers spin and retry: violent CPU churn.
+        MetricKind::Cpu => normal + level * 34.0 * osc,
+        // Input buffers fill up: queue memory balloons — often a *larger*
+        // absolute deviation than the culprit's own signature, which is
+        // what fools magnitude-ranking schemes (§III.B) while FChain's
+        // onset ordering stays immune.
+        MetricKind::Memory => normal + level * 380.0,
+        MetricKind::NetIn | MetricKind::NetOut => {
+            normal * (1.0 - 0.55 * level * (0.8 + 0.3 * osc))
+        }
+        MetricKind::DiskRead | MetricKind::DiskWrite => normal * (1.0 - 0.2 * level),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultKind;
+    use fchain_metrics::stats;
+    use fchain_metrics::ComponentId;
+
+    fn run(app: AppKind, fault: FaultKind, seed: u64) -> RunRecord {
+        Simulator::new(RunConfig::new(app, fault, seed).with_duration(1800)).run()
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = run(AppKind::Rubis, FaultKind::CpuHog, 5);
+        let b = run(AppKind::Rubis, FaultKind::CpuHog, 5);
+        assert_eq!(a.fault, b.fault);
+        assert_eq!(a.violation_at, b.violation_at);
+        assert_eq!(
+            a.metric(ComponentId(3), MetricKind::Cpu).values(),
+            b.metric(ComponentId(3), MetricKind::Cpu).values()
+        );
+        assert_eq!(a.packets.len(), b.packets.len());
+    }
+
+    #[test]
+    fn violation_follows_fault_quickly_for_fast_faults() {
+        for seed in 0..5 {
+            let r = run(AppKind::Rubis, FaultKind::CpuHog, seed);
+            let t_v = r.violation_at.expect("cpuhog must violate");
+            assert!(t_v >= r.fault.start);
+            assert!(t_v - r.fault.start < 30, "t_v-t_f = {}", t_v - r.fault.start);
+        }
+    }
+
+    #[test]
+    fn memleak_violation_is_slower_but_within_lookback() {
+        for seed in 0..5 {
+            let r = run(AppKind::Rubis, FaultKind::MemLeak, seed);
+            let t_v = r.violation_at.expect("memleak must violate");
+            let gap = t_v - r.fault.start;
+            assert!((20..100).contains(&gap), "gap {gap}");
+        }
+    }
+
+    #[test]
+    fn diskhog_needs_long_window() {
+        let cfg = RunConfig::new(AppKind::Hadoop, FaultKind::ConcurrentDiskHog, 3)
+            .with_duration(2400)
+            .with_fault_window(0.3, 0.5);
+        let r = Simulator::new(cfg).run();
+        let t_v = r.violation_at.expect("diskhog must violate");
+        let gap = t_v - r.fault.start;
+        assert!(gap > 150, "diskhog manifested too fast: {gap}");
+        assert!(gap < 550, "diskhog too slow: {gap}");
+    }
+
+    #[test]
+    fn faulty_component_memory_ramps() {
+        let r = run(AppKind::Rubis, FaultKind::MemLeak, 9);
+        let db = ComponentId(3);
+        let t_f = r.fault.start;
+        let mem = r.metric(db, MetricKind::Memory);
+        let before = stats::mean(mem.window(t_f - 100, t_f - 1));
+        let after = stats::mean(mem.window(t_f + 60, t_f + 80));
+        assert!(after > before + 500.0, "leak not visible: {before} -> {after}");
+    }
+
+    #[test]
+    fn backpressure_reaches_upstream_later() {
+        // MemLeak at the RUBiS db: the app servers must show anomaly levels
+        // only after the db's own manifestation.
+        let r = run(AppKind::Rubis, FaultKind::MemLeak, 21);
+        let t_f = r.fault.start;
+        let db = ComponentId(3);
+        let app1 = ComponentId(1);
+        // The db memory starts moving right at t_f...
+        let db_mem = r.metric(db, MetricKind::Memory);
+        assert!(
+            stats::mean(db_mem.window(t_f + 30, t_f + 40))
+                > stats::mean(db_mem.window(t_f - 40, t_f - 30)) + 200.0
+        );
+        // ...while app1's CPU distortion appears only after the propagation
+        // threshold (~18 ticks for the leak) plus the edge delay.
+        let app_cpu = r.metric(app1, MetricKind::Cpu);
+        let pre = stats::mean(app_cpu.window(t_f - 60, t_f - 1));
+        let at_fault = stats::mean(app_cpu.window(t_f, t_f + 10));
+        let later = stats::mean(app_cpu.window(t_f + 60, t_f + 110));
+        assert!((at_fault - pre).abs() < 8.0, "app affected too early");
+        assert!(later > pre + 5.0, "back-pressure never reached app1");
+    }
+
+    #[test]
+    fn normal_components_far_from_fault_see_attenuated_levels() {
+        // Web is two hops from the db; its CPU distortion is visible but
+        // smaller than app1's. Averaged over several seeds to wash out
+        // per-run noise and bursts.
+        let mut app_lift = 0.0;
+        let mut web_lift = 0.0;
+        for seed in 30..36 {
+            let r = run(AppKind::Rubis, FaultKind::MemLeak, seed);
+            let t_f = r.fault.start;
+            let lift = |ts: &fchain_metrics::TimeSeries| {
+                stats::mean(ts.window(t_f + 60, t_f + 160))
+                    - stats::mean(ts.window(t_f - 120, t_f - 20))
+            };
+            app_lift += lift(r.metric(ComponentId(1), MetricKind::Cpu));
+            web_lift += lift(r.metric(ComponentId(0), MetricKind::Cpu));
+        }
+        assert!(app_lift > web_lift, "attenuation violated: app {app_lift} web {web_lift}");
+    }
+
+    #[test]
+    fn no_violation_without_meaningful_fault_window() {
+        // A run whose fault starts near the very end: no violation earlier.
+        let cfg = RunConfig::new(AppKind::Rubis, FaultKind::CpuHog, 17)
+            .with_duration(1200)
+            .with_fault_window(0.95, 0.97);
+        let r = Simulator::new(cfg).run();
+        if let Some(t_v) = r.violation_at {
+            assert!(t_v >= r.fault.start);
+        }
+        // Before the fault the SLO stays healthy.
+        for (t, v) in r.slo.iter() {
+            if t < r.fault.start {
+                assert!(v < 100.0, "spurious violation at {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn systems_propagation_is_fast() {
+        let cfg = RunConfig::new(AppKind::SystemS, FaultKind::Bottleneck, 2).with_duration(1800);
+        let r = Simulator::new(cfg).run();
+        let t_v = r.violation_at.expect("bottleneck must violate");
+        assert!(t_v - r.fault.start < 20);
+    }
+
+    #[test]
+    fn hadoop_run_has_nine_components_and_bursty_disk() {
+        let r = run(AppKind::Hadoop, FaultKind::ConcurrentCpuHog, 8);
+        assert_eq!(r.component_count(), 9);
+        let t_f = r.fault.start;
+        let dw = r.metric(ComponentId(0), MetricKind::DiskWrite);
+        let normal: Vec<f64> = dw.window(100, t_f - 10).to_vec();
+        // Bursty: the 95th percentile is well above the median.
+        let p95 = stats::percentile(&normal, 95.0).unwrap();
+        let p50 = stats::percentile(&normal, 50.0).unwrap();
+        assert!(p95 > p50 * 1.2, "disk not bursty: p95 {p95} p50 {p50}");
+    }
+
+    #[test]
+    fn multi_tenant_mode_adds_correlated_interference() {
+        let quiet = Simulator::new(
+            RunConfig::new(AppKind::Rubis, FaultKind::MemLeak, 12).with_duration(1200),
+        )
+        .run();
+        let noisy = Simulator::new(
+            RunConfig::new(AppKind::Rubis, FaultKind::MemLeak, 12)
+                .with_duration(1200)
+                .with_multi_tenant(),
+        )
+        .run();
+        let t_f = quiet.fault.start.min(noisy.fault.start);
+        let cpu_mean = |r: &RunRecord| {
+            stats::mean(r.metric(ComponentId(0), MetricKind::Cpu).window(100, t_f - 1))
+        };
+        assert!(
+            cpu_mean(&noisy) > cpu_mean(&quiet) + 1.0,
+            "interference should lift the web CPU: {} vs {}",
+            cpu_mean(&noisy),
+            cpu_mean(&quiet)
+        );
+    }
+
+    #[test]
+    fn workload_replay_drives_metrics() {
+        // A flat replayed workload keeps the load term constant, so the
+        // pre-fault net_in variance collapses versus the synthetic trace.
+        let synth = Simulator::new(
+            RunConfig::new(AppKind::Rubis, FaultKind::CpuHog, 8).with_duration(1200),
+        )
+        .run();
+        let flat = Simulator::new(
+            RunConfig::new(AppKind::Rubis, FaultKind::CpuHog, 8)
+                .with_duration(1200)
+                .with_workload_replay(vec![0.5; 1200]),
+        )
+        .run();
+        let t_f = synth.fault.start.min(flat.fault.start);
+        let spread = |r: &RunRecord| {
+            stats::std_dev(r.metric(ComponentId(0), MetricKind::NetIn).window(100, t_f - 1))
+        };
+        assert!(
+            spread(&flat) < spread(&synth),
+            "flat replay should reduce workload-driven variance: {} vs {}",
+            spread(&flat),
+            spread(&synth)
+        );
+    }
+
+    #[test]
+    fn workload_surge_overdrives_every_component() {
+        let r = Simulator::new(
+            RunConfig::new(AppKind::Rubis, FaultKind::WorkloadSurge, 4).with_duration(1800),
+        )
+        .run();
+        assert!(r.fault.targets.is_empty(), "a surge has no faulty component");
+        let t_f = r.fault.start;
+        let t_v = r.violation_at.expect("the surge must violate the SLO");
+        assert!(t_v >= t_f);
+        // Every component's net_in rises.
+        for c in 0..r.component_count() as u32 {
+            let ts = r.metric(ComponentId(c), MetricKind::NetIn);
+            let before = stats::mean(ts.window(t_f.saturating_sub(150), t_f - 1));
+            let after = stats::mean(ts.window(t_f + 10, t_f + 60));
+            assert!(
+                after > before * 1.1,
+                "C{c} net_in did not surge: {before} -> {after}"
+            );
+        }
+    }
+
+    #[test]
+    fn packets_stop_flowing_on_dead_edges() {
+        let r = run(AppKind::Rubis, FaultKind::CpuHog, 4);
+        let t_f = r.fault.start;
+        // Traffic volume in an equal-length window after the fault is lower.
+        let before = r
+            .packets
+            .iter()
+            .filter(|p| p.tick >= t_f.saturating_sub(300) && p.tick < t_f)
+            .count();
+        let after = r.packets.iter().filter(|p| p.tick >= t_f && p.tick < t_f + 300).count();
+        assert!(
+            (after as f64) < before as f64 * 0.9,
+            "traffic did not drop: {before} -> {after}"
+        );
+    }
+}

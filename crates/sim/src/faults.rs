@@ -1,0 +1,505 @@
+//! Fault injection: kinds, manifestation shapes, and metric signatures.
+//!
+//! §III.A of the paper injects one fault per application run at a random
+//! time. Single-component faults target one VM; multi-component faults hit
+//! several VMs at once. Each kind has a *manifestation shape* (how fast
+//! severity ramps from 0 to 1) and a *metric signature* (which of the six
+//! system metrics it distorts, and how).
+
+use crate::topology::{AppKind, AppModel};
+use fchain_metrics::{ComponentId, MetricKind, Tick};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The fault scenarios evaluated in the paper (§III.A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Memory-leak bug in one component (RUBiS db; random System S PE).
+    MemLeak,
+    /// CPU-bound competitor inside the same VM (RUBiS db; random PE).
+    CpuHog,
+    /// External HTTP flood on the web tier (`httperf`, RUBiS only).
+    NetHog,
+    /// Disk-I/O-intensive program in Domain 0 (used concurrently on all
+    /// Hadoop map nodes in the paper; available standalone here).
+    DiskHog,
+    /// Low CPU cap on one randomly selected PE (System S).
+    Bottleneck,
+    /// JBoss EJB offload bug JBAS-1442: app1 handles remotely-bound EJBs
+    /// locally, app2 starves (RUBiS, hits both app servers at once).
+    OffloadBug,
+    /// mod_jk 1.2.30 load-balancing bug: uneven dispatch overloads app1
+    /// and starves app2 (RUBiS, hits both app servers at once).
+    LbBug,
+    /// Memory leak started simultaneously in several components
+    /// (2 random PEs in System S; all 3 map nodes in Hadoop).
+    ConcurrentMemLeak,
+    /// Infinite-loop / CPU hog in several components at once.
+    ConcurrentCpuHog,
+    /// Disk hog in the Domain 0 of every host running a map task.
+    ConcurrentDiskHog,
+    /// Not a component fault at all: an external client-side workload
+    /// surge that overloads every component at once. The ground-truth
+    /// faulty set is empty — a correct localizer blames *nobody* (FChain's
+    /// external-factor inference, §II.C); every component a scheme
+    /// pinpoints is a false positive.
+    WorkloadSurge,
+}
+
+impl FaultKind {
+    /// Short name used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::MemLeak => "memleak",
+            FaultKind::CpuHog => "cpuhog",
+            FaultKind::NetHog => "nethog",
+            FaultKind::DiskHog => "diskhog",
+            FaultKind::Bottleneck => "bottleneck",
+            FaultKind::OffloadBug => "offloadbug",
+            FaultKind::LbBug => "lbbug",
+            FaultKind::ConcurrentMemLeak => "conc_memleak",
+            FaultKind::ConcurrentCpuHog => "conc_cpuhog",
+            FaultKind::ConcurrentDiskHog => "conc_diskhog",
+            FaultKind::WorkloadSurge => "workload_surge",
+        }
+    }
+
+    /// The underlying single-component signature this kind applies at each
+    /// of its targets.
+    pub fn signature(self) -> FaultKind {
+        match self {
+            FaultKind::ConcurrentMemLeak => FaultKind::MemLeak,
+            FaultKind::ConcurrentCpuHog => FaultKind::CpuHog,
+            FaultKind::ConcurrentDiskHog => FaultKind::DiskHog,
+            other => other,
+        }
+    }
+
+    /// Manifestation severity in `[0, 1]` as a function of ticks elapsed
+    /// since injection. Gradual for leaks and disk contention, fast for
+    /// hogs and caps.
+    pub fn severity(self, elapsed: Tick) -> f64 {
+        let e = elapsed as f64;
+        match self.signature() {
+            FaultKind::MemLeak => (e / 70.0).min(1.0),
+            FaultKind::CpuHog => 1.0 - (-e / 3.0).exp(),
+            FaultKind::NetHog => 1.0 - (-e / 3.0).exp(),
+            // Dom0 I/O contention bites within seconds (the hog writes at
+            // full speed immediately) but the *job-level* impact keeps
+            // worsening for several hundred seconds as queues build — the
+            // reason this fault needs the W=500 look-back window.
+            FaultKind::DiskHog => 0.65 * (1.0 - (-e / 8.0).exp()) + 0.35 * (e / 380.0).min(1.0),
+            FaultKind::Bottleneck => 1.0 - (-e / 2.0).exp(),
+            FaultKind::OffloadBug => (e / 12.0).min(1.0),
+            FaultKind::LbBug => (e / 18.0).min(1.0),
+            // The flash crowd floods in over a few seconds.
+            FaultKind::WorkloadSurge => (e / 8.0).min(1.0),
+            _ => unreachable!("signature() returns base kinds"),
+        }
+    }
+
+    /// The resource metric the fault primarily exhausts — what online
+    /// validation scales to confirm a pinpointing (§II.A, §III.D).
+    pub fn primary_metric(self) -> MetricKind {
+        match self.signature() {
+            FaultKind::MemLeak => MetricKind::Memory,
+            FaultKind::CpuHog | FaultKind::Bottleneck => MetricKind::Cpu,
+            FaultKind::NetHog => MetricKind::NetIn,
+            FaultKind::DiskHog => MetricKind::DiskWrite,
+            FaultKind::OffloadBug | FaultKind::LbBug => MetricKind::Cpu,
+            FaultKind::WorkloadSurge => MetricKind::Cpu,
+            _ => unreachable!("signature() returns base kinds"),
+        }
+    }
+
+    /// Whether this kind needs the long look-back window in the paper's
+    /// configuration (DiskHog manifests over several hundred seconds).
+    pub fn is_slow_manifesting(self) -> bool {
+        matches!(self.signature(), FaultKind::DiskHog)
+    }
+
+    /// Transforms the fault-free value of `metric` on the `target_idx`-th
+    /// faulty component given current severity. `target_idx` matters for
+    /// the asymmetric two-component bugs (OffloadBug/LbBug overload target
+    /// 0 and starve target 1); `tick` drives time-structured signatures
+    /// (the DiskHog stall/catch-up alternation).
+    pub fn apply(
+        self,
+        target_idx: usize,
+        severity: f64,
+        metric: MetricKind,
+        normal: f64,
+        tick: Tick,
+    ) -> f64 {
+        use MetricKind::*;
+        let s = severity;
+        match self.signature() {
+            FaultKind::MemLeak => match metric {
+                Memory => normal + s * 900.0,
+                Cpu => normal + s * 6.0,
+                _ => normal,
+            },
+            FaultKind::CpuHog => match metric {
+                Cpu => (normal + s * 60.0).min(100.0),
+                Memory => normal + s * 30.0,
+                // The hog starves the real task of cycles: useful output
+                // (disk writes, responses) collapses alongside.
+                DiskWrite => normal * (1.0 - 0.7 * s),
+                NetOut => normal * (1.0 - 0.6 * s),
+                _ => normal,
+            },
+            FaultKind::NetHog => match metric {
+                NetIn => normal + s * 3200.0,
+                Cpu => (normal + s * 30.0).min(100.0),
+                NetOut => normal + s * 700.0,
+                _ => normal,
+            },
+            FaultKind::DiskHog => {
+                // Dom0 contention makes guest I/O *erratic*: multi-second
+                // stalls (requests queued behind the hog) alternate with
+                // catch-up slots. Stall probability scales with severity.
+                let slot = hash_slot(tick / 5, target_idx as u64);
+                let stalled = slot < 0.55 + 0.35 * s;
+                match metric {
+                    DiskWrite | DiskRead => {
+                        if stalled {
+                            // Requests sit behind the hog: throughput all
+                            // but vanishes during a stall slot.
+                            normal * (1.0 - s).max(0.0)
+                        } else {
+                            normal * (1.0 + 0.2 * s)
+                        }
+                    }
+                    Cpu => {
+                        if stalled {
+                            normal * (1.0 - 0.7 * s)
+                        } else {
+                            normal
+                        }
+                    }
+                    NetOut => normal * (1.0 - 0.45 * s),
+                    _ => normal,
+                }
+            }
+            FaultKind::Bottleneck => match metric {
+                // CPU capped low; throughput collapses.
+                Cpu => normal.min(100.0 - 75.0 * s) * (1.0 - 0.55 * s) + 0.0,
+                NetOut => normal * (1.0 - 0.6 * s),
+                NetIn => normal * (1.0 - 0.3 * s),
+                _ => normal,
+            },
+            FaultKind::OffloadBug => {
+                if target_idx == 0 {
+                    // app1 keeps the EJBs it should have offloaded.
+                    match metric {
+                        Cpu => (normal + s * 38.0).min(100.0),
+                        Memory => normal + s * 260.0,
+                        NetIn => normal + s * 300.0,
+                        _ => normal,
+                    }
+                } else {
+                    // app2 starves: the misrouted EJBs never arrive. The
+                    // starvation bites as soon as routing flips — much
+                    // faster than the overload builds on app1.
+                    let s = (s * 3.0).min(1.0);
+                    match metric {
+                        Cpu => normal * (1.0 - 0.75 * s),
+                        NetIn => normal * (1.0 - 0.7 * s),
+                        NetOut => normal * (1.0 - 0.7 * s),
+                        _ => normal,
+                    }
+                }
+            }
+            FaultKind::LbBug => {
+                if target_idx == 0 {
+                    // app1 receives (nearly) all dispatch: its load roughly
+                    // doubles the moment the balancer misroutes.
+                    match metric {
+                        Cpu => (normal + s * 42.0).min(100.0),
+                        NetIn => normal + s * 700.0,
+                        Memory => normal + s * 320.0,
+                        NetOut => normal + s * 300.0,
+                        _ => normal,
+                    }
+                } else {
+                    // The starved server loses essentially all dispatch the
+                    // moment the balancer misroutes: requests stop arriving
+                    // and it idles at its base load.
+                    let s = (s * 3.0).min(1.0);
+                    match metric {
+                        Cpu => normal * (1.0 - 0.8 * s),
+                        NetIn => normal * (1.0 - 0.85 * s),
+                        NetOut => normal * (1.0 - 0.8 * s),
+                        _ => normal,
+                    }
+                }
+            }
+            _ => unreachable!("signature() returns base kinds"),
+        }
+    }
+
+    /// Resolves the canonical injection targets for this fault on an
+    /// application, using `rng` for the randomly-placed faults
+    /// (System S "randomly selected PE" cases).
+    ///
+    /// # Panics
+    ///
+    /// Panics for combinations the paper does not define (e.g. NetHog on
+    /// Hadoop).
+    pub fn resolve_targets(self, model: &AppModel, rng: &mut StdRng) -> Vec<ComponentId> {
+        match (model.kind, self) {
+            (AppKind::Rubis, FaultKind::MemLeak | FaultKind::CpuHog) => {
+                vec![model.component_named("db")]
+            }
+            (AppKind::Rubis, FaultKind::NetHog) => vec![model.component_named("web")],
+            (AppKind::Rubis, FaultKind::OffloadBug | FaultKind::LbBug) => {
+                vec![model.component_named("app1"), model.component_named("app2")]
+            }
+            (
+                AppKind::SystemS,
+                FaultKind::MemLeak | FaultKind::CpuHog | FaultKind::Bottleneck,
+            ) => {
+                // Any PE except the sink (a faulty sink has nothing
+                // downstream and trivializes propagation); PE1..PE6.
+                let idx = rng.gen_range(0..6u32);
+                vec![ComponentId(idx)]
+            }
+            (AppKind::SystemS, FaultKind::ConcurrentMemLeak | FaultKind::ConcurrentCpuHog) => {
+                let mut ids: Vec<u32> = (0..6).collect();
+                ids.shuffle(rng);
+                let mut t = vec![ComponentId(ids[0]), ComponentId(ids[1])];
+                t.sort();
+                t
+            }
+            (
+                AppKind::Hadoop,
+                FaultKind::ConcurrentMemLeak
+                | FaultKind::ConcurrentCpuHog
+                | FaultKind::ConcurrentDiskHog,
+            ) => (0..3).map(ComponentId).collect(),
+            (_, FaultKind::WorkloadSurge) => Vec::new(),
+            (app, fault) => panic!("fault {fault:?} is not defined for {app:?}"),
+        }
+    }
+}
+
+/// Deterministic pseudo-random value in [0, 1) for a (slot, salt) pair —
+/// drives the DiskHog stall pattern without threading an RNG through the
+/// signature function.
+fn hash_slot(slot: u64, salt: u64) -> f64 {
+    let mut h = slot
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(salt.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^= h >> 31;
+    h as f64 / u64::MAX as f64
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A fully resolved fault: what, where, when.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectedFault {
+    /// The scenario kind.
+    pub kind: FaultKind,
+    /// The component(s) the fault was injected into — the ground truth the
+    /// precision/recall metrics count against.
+    pub targets: Vec<ComponentId>,
+    /// Injection tick.
+    pub start: Tick,
+}
+
+impl InjectedFault {
+    /// Whether a component is truly faulty in this run.
+    pub fn is_faulty(&self, c: ComponentId) -> bool {
+        self.targets.contains(&c)
+    }
+}
+
+/// A fault request before target resolution (used by run configuration).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// The scenario kind.
+    pub kind: FaultKind,
+    /// Optional explicit targets (overrides canonical resolution).
+    pub targets: Option<Vec<ComponentId>>,
+}
+
+impl FaultSpec {
+    /// A spec with canonical target resolution.
+    pub fn new(kind: FaultKind) -> Self {
+        FaultSpec {
+            kind,
+            targets: None,
+        }
+    }
+
+    /// A spec with explicit targets.
+    pub fn at(kind: FaultKind, targets: Vec<ComponentId>) -> Self {
+        FaultSpec {
+            kind,
+            targets: Some(targets),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps;
+    use rand::SeedableRng;
+
+    #[test]
+    fn severity_shapes() {
+        // Fast faults saturate within ~10 ticks.
+        assert!(FaultKind::CpuHog.severity(10) > 0.9);
+        assert!(FaultKind::Bottleneck.severity(8) > 0.9);
+        // Gradual faults ramp slowly.
+        assert!(FaultKind::MemLeak.severity(35) < 0.55);
+        assert!((FaultKind::MemLeak.severity(70) - 1.0).abs() < 1e-9);
+        assert!(FaultKind::DiskHog.severity(20) > 0.5, "fast initial bite");
+        assert!(FaultKind::DiskHog.severity(100) < 0.78, "slow tail");
+        assert!(FaultKind::DiskHog.severity(380) >= 0.99);
+        // Severity is monotone and bounded.
+        for kind in [
+            FaultKind::MemLeak,
+            FaultKind::CpuHog,
+            FaultKind::NetHog,
+            FaultKind::DiskHog,
+            FaultKind::Bottleneck,
+            FaultKind::OffloadBug,
+            FaultKind::LbBug,
+        ] {
+            let mut prev = -1.0;
+            for e in 0..500 {
+                let s = kind.severity(e);
+                assert!((0.0..=1.0).contains(&s));
+                assert!(s >= prev - 1e-12);
+                prev = s;
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_kinds_share_signatures() {
+        assert_eq!(FaultKind::ConcurrentMemLeak.signature(), FaultKind::MemLeak);
+        assert_eq!(
+            FaultKind::ConcurrentMemLeak.primary_metric(),
+            MetricKind::Memory
+        );
+        assert_eq!(
+            FaultKind::ConcurrentDiskHog.severity(100),
+            FaultKind::DiskHog.severity(100)
+        );
+    }
+
+    #[test]
+    fn memleak_grows_memory() {
+        let v0 = FaultKind::MemLeak.apply(0, 0.0, MetricKind::Memory, 500.0, 0);
+        let v1 = FaultKind::MemLeak.apply(0, 1.0, MetricKind::Memory, 500.0, 0);
+        assert_eq!(v0, 500.0);
+        assert!(v1 > 1300.0);
+        // CPU-unrelated metrics untouched.
+        assert_eq!(
+            FaultKind::MemLeak.apply(0, 1.0, MetricKind::DiskRead, 77.0, 0),
+            77.0
+        );
+    }
+
+    #[test]
+    fn cpuhog_saturates_at_100() {
+        let v = FaultKind::CpuHog.apply(0, 1.0, MetricKind::Cpu, 80.0, 0);
+        assert!(v <= 100.0);
+        assert!(v > 95.0);
+    }
+
+    #[test]
+    fn diskhog_is_erratic_with_low_average() {
+        // Over many ticks, throughput alternates between deep stalls and
+        // catch-up bursts; the mean collapses but individual slots vary.
+        let vals: Vec<f64> = (0..300)
+            .map(|t| FaultKind::DiskHog.apply(0, 1.0, MetricKind::DiskWrite, 1000.0, t))
+            .collect();
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        assert!(mean < 450.0, "mean {mean}");
+        assert!(vals.iter().any(|&v| v < 150.0), "no stalls");
+        assert!(vals.iter().any(|&v| v > 1000.0), "no catch-up bursts");
+    }
+
+    #[test]
+    fn offload_bug_is_asymmetric() {
+        let overloaded = FaultKind::OffloadBug.apply(0, 1.0, MetricKind::Cpu, 40.0, 0);
+        let starved = FaultKind::OffloadBug.apply(1, 1.0, MetricKind::Cpu, 40.0, 0);
+        assert!(overloaded > 70.0);
+        assert!(starved < 25.0);
+    }
+
+    #[test]
+    fn canonical_targets() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let rubis = apps::rubis();
+        assert_eq!(
+            FaultKind::MemLeak.resolve_targets(&rubis, &mut rng),
+            vec![rubis.component_named("db")]
+        );
+        assert_eq!(
+            FaultKind::NetHog.resolve_targets(&rubis, &mut rng),
+            vec![rubis.component_named("web")]
+        );
+        assert_eq!(
+            FaultKind::OffloadBug.resolve_targets(&rubis, &mut rng).len(),
+            2
+        );
+        let hadoop = apps::hadoop();
+        assert_eq!(
+            FaultKind::ConcurrentDiskHog.resolve_targets(&hadoop, &mut rng),
+            vec![ComponentId(0), ComponentId(1), ComponentId(2)]
+        );
+        let systems = apps::systems();
+        let t = FaultKind::ConcurrentCpuHog.resolve_targets(&systems, &mut rng);
+        assert_eq!(t.len(), 2);
+        assert_ne!(t[0], t[1]);
+        for c in t {
+            assert!(c.0 < 6);
+        }
+    }
+
+    #[test]
+    fn random_pe_selection_varies_with_seed() {
+        let systems = apps::systems();
+        let picks: std::collections::BTreeSet<u32> = (0..40)
+            .map(|s| {
+                let mut rng = StdRng::seed_from_u64(s);
+                FaultKind::CpuHog.resolve_targets(&systems, &mut rng)[0].0
+            })
+            .collect();
+        assert!(picks.len() >= 4, "selection not spread: {picks:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "not defined")]
+    fn undefined_combination_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        FaultKind::NetHog.resolve_targets(&apps::hadoop(), &mut rng);
+    }
+
+    #[test]
+    fn injected_fault_membership() {
+        let f = InjectedFault {
+            kind: FaultKind::CpuHog,
+            targets: vec![ComponentId(3)],
+            start: 100,
+        };
+        assert!(f.is_faulty(ComponentId(3)));
+        assert!(!f.is_faulty(ComponentId(0)));
+    }
+}

@@ -1,0 +1,63 @@
+//! Deterministic discrete-time cloud testbed simulator.
+//!
+//! The FChain paper evaluates on a Xen/VCL testbed running three real
+//! distributed applications (RUBiS, Hadoop, IBM System S) with faults
+//! injected by shell scripts and real bugs. None of that environment is
+//! available here, so this crate replaces it with a simulator that produces
+//! exactly what FChain consumes — per-VM system-metric time series at 1 Hz,
+//! an SLO signal, and network packet traces — while encoding the phenomena
+//! the paper's evaluation hinges on:
+//!
+//! * **fault-first manifestation**: the injected component's metrics change
+//!   first, with a per-fault shape (gradual ramp for MemLeak/DiskHog, fast
+//!   step for CpuHog/NetHog/Bottleneck);
+//! * **multi-second propagation** along the dataflow graph, downstream with
+//!   the requests and **upstream via back-pressure**, attenuated per hop;
+//! * affected (non-faulty) components manifest *sharp* queue-driven
+//!   oscillations, while gradual culprits stay smooth — which is why
+//!   magnitude-outlier schemes mispinpoint and FChain's predictability
+//!   filter does not;
+//! * workload-driven normal fluctuation that an online Markov model can
+//!   learn, shaped like the NASA'95 / ClarkNet'95 web traces the paper
+//!   replays (diurnal cycle + AR(1) correlation + heavy bursts);
+//! * request/reply traffic with inter-packet gaps (discoverable
+//!   dependencies) versus continuous stream traffic (undiscoverable, the
+//!   System S case);
+//! * rare unseen per-component glitches, giving longer look-back windows a
+//!   slightly higher false-pinpoint chance (Table I's sensitivity shape).
+//!
+//! Everything is seeded: the same [`RunConfig`] always produces the same
+//! [`RunRecord`].
+//!
+//! # Examples
+//!
+//! ```
+//! use fchain_sim::{AppKind, FaultKind, RunConfig, Simulator};
+//!
+//! let cfg = RunConfig::new(AppKind::Rubis, FaultKind::CpuHog, 42).with_duration(1200);
+//! let record = Simulator::new(cfg).run();
+//! assert!(record.violation_at.is_some());
+//! let t_v = record.violation_at.unwrap();
+//! assert!(t_v >= record.fault.start);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod apps;
+mod engine;
+mod faults;
+mod netsim;
+mod profile;
+mod run;
+mod slo;
+mod topology;
+mod workload;
+
+pub use engine::Simulator;
+pub use faults::{FaultKind, FaultSpec, InjectedFault};
+pub use profile::MetricProfile;
+pub use run::{RunConfig, RunRecord, ScalingOracle};
+pub use slo::{SloSpec, SloStatus};
+pub use topology::{AppKind, AppModel, ComponentSpec, Role};
+pub use workload::{HadoopPhases, ReplayTrace, ReplayParseError, WebTrace, Workload};

@@ -1,0 +1,120 @@
+//! Network traffic emission for dependency discovery.
+//!
+//! Request/reply applications (RUBiS, Hadoop shuffle batches) emit packet
+//! bursts with idle gaps in between — separable into flows. Stream
+//! processing (System S) emits tuples every tick with no gaps, which is
+//! exactly why black-box dependency discovery fails there (paper §II.C).
+
+use crate::topology::AppModel;
+use fchain_deps::Packet;
+use fchain_metrics::Tick;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Emits the packets for one tick across all dataflow edges.
+///
+/// * `activity` — workload intensity in `[0, 1]` scaling request rates;
+/// * `edge_throughput` — per-edge multiplier in `[0, 1]` (back-pressure and
+///   faults reduce it), indexed like [`AppModel::dataflow`]'s `edges()`.
+pub fn emit_tick(
+    model: &AppModel,
+    t: Tick,
+    activity: f64,
+    edge_throughput: &[f64],
+    rng: &mut StdRng,
+    out: &mut Vec<Packet>,
+) {
+    let edges = model.dataflow.edges();
+    debug_assert_eq!(edges.len(), edge_throughput.len());
+    for (i, &(src, dst)) in edges.iter().enumerate() {
+        let tp = edge_throughput[i].clamp(0.0, 1.0);
+        if model.continuous_traffic {
+            // Stream tuples: at least one packet every tick while the edge
+            // moves data at all — no gaps, ever.
+            if tp > 0.02 {
+                let n = 1 + (activity * 2.0 * tp) as u32;
+                for _ in 0..n {
+                    out.push(Packet::new(t, src, dst, 256 + rng.gen_range(0..512)));
+                }
+            }
+        } else {
+            // Request/reply: the edge is active this tick with probability
+            // driven by the workload; inactivity creates the inter-packet
+            // gaps flow separation relies on.
+            let p_active = (0.25 + 0.55 * activity) * tp;
+            if rng.gen::<f64>() < p_active {
+                let n = 1 + rng.gen_range(0..3);
+                for _ in 0..n {
+                    out.push(Packet::new(t, src, dst, 200 + rng.gen_range(0..1400)));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps;
+    use fchain_deps::{discover, DiscoveryConfig};
+    use rand::SeedableRng;
+
+    fn simulate_traffic(model: &AppModel, ticks: Tick) -> Vec<Packet> {
+        let mut rng = StdRng::seed_from_u64(7);
+        let throughput = vec![1.0; model.dataflow.edge_count()];
+        let mut packets = Vec::new();
+        for t in 0..ticks {
+            emit_tick(model, t, 0.5, &throughput, &mut rng, &mut packets);
+        }
+        packets
+    }
+
+    #[test]
+    fn rubis_traffic_is_discoverable() {
+        let model = apps::rubis();
+        let packets = simulate_traffic(&model, 1200);
+        let discovered = discover(&packets, &DiscoveryConfig::default());
+        // Every true dataflow edge is recovered.
+        for (a, b) in model.dataflow.edges() {
+            assert!(discovered.has_edge(a, b), "missing edge {a} -> {b}");
+        }
+        assert_eq!(discovered.edge_count(), model.dataflow.edge_count());
+    }
+
+    #[test]
+    fn hadoop_traffic_is_discoverable() {
+        let model = apps::hadoop();
+        let packets = simulate_traffic(&model, 1500);
+        let discovered = discover(&packets, &DiscoveryConfig::default());
+        for (a, b) in model.dataflow.edges() {
+            assert!(discovered.has_edge(a, b), "missing edge {a} -> {b}");
+        }
+    }
+
+    #[test]
+    fn systems_traffic_is_not_discoverable() {
+        let model = apps::systems();
+        let packets = simulate_traffic(&model, 2000);
+        assert!(!packets.is_empty());
+        let discovered = discover(&packets, &DiscoveryConfig::default());
+        assert!(
+            discovered.is_empty(),
+            "stream traffic must defeat gap-based flow separation"
+        );
+    }
+
+    #[test]
+    fn zero_throughput_silences_an_edge() {
+        let model = apps::rubis();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut throughput = vec![1.0; model.dataflow.edge_count()];
+        throughput[0] = 0.0;
+        let mut packets = Vec::new();
+        for t in 0..500 {
+            emit_tick(&model, t, 0.8, &throughput, &mut rng, &mut packets);
+        }
+        let edges = model.dataflow.edges();
+        let (a, b) = edges[0];
+        assert!(!packets.iter().any(|p| p.src == a && p.dst == b));
+    }
+}

@@ -1,0 +1,142 @@
+//! Normal (fault-free) metric profiles per component role.
+
+use crate::topology::Role;
+use fchain_metrics::MetricKind;
+use serde::{Deserialize, Serialize};
+
+/// How one role's six metrics behave under normal operation:
+/// `value = base + load_gain * workload + noise + burst`.
+///
+/// Units follow [`MetricKind`]: CPU in percent, memory in MB, network and
+/// disk in KB/s. `burstiness` is the per-tick probability of a short
+/// multiplicative spike (the kind of *normal* burst that defeats
+/// magnitude-outlier change point filtering on Hadoop disk metrics,
+/// paper Fig. 3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricProfile {
+    /// Baseline value per metric (indexed by [`MetricKind::index`]).
+    pub base: [f64; 6],
+    /// Workload sensitivity per metric.
+    pub load_gain: [f64; 6],
+    /// Gaussian-ish noise sigma per metric.
+    pub noise: [f64; 6],
+    /// Per-tick burst probability per metric.
+    pub burstiness: [f64; 6],
+    /// Burst amplitude (multiple of `load_gain`, floored at a minimum).
+    pub burst_amp: [f64; 6],
+}
+
+impl MetricProfile {
+    /// The profile of a role.
+    pub fn for_role(role: Role) -> MetricProfile {
+        // Index order: cpu, mem, net_in, net_out, disk_read, disk_write.
+        match role {
+            Role::WebServer => MetricProfile {
+                base: [12.0, 420.0, 220.0, 380.0, 18.0, 25.0],
+                load_gain: [38.0, 110.0, 900.0, 1600.0, 25.0, 40.0],
+                noise: [1.6, 6.0, 28.0, 45.0, 3.0, 4.0],
+                burstiness: [0.004, 0.0, 0.008, 0.008, 0.003, 0.003],
+                burst_amp: [0.5, 0.0, 0.5, 0.5, 0.8, 0.8],
+            },
+            Role::AppServer => MetricProfile {
+                base: [18.0, 700.0, 160.0, 210.0, 30.0, 45.0],
+                load_gain: [45.0, 180.0, 700.0, 800.0, 60.0, 90.0],
+                noise: [2.0, 9.0, 22.0, 26.0, 5.0, 7.0],
+                burstiness: [0.005, 0.0, 0.006, 0.006, 0.004, 0.004],
+                burst_amp: [0.3, 0.0, 0.5, 0.5, 0.6, 0.6],
+            },
+            Role::Database => MetricProfile {
+                base: [15.0, 900.0, 120.0, 150.0, 120.0, 160.0],
+                load_gain: [40.0, 140.0, 500.0, 600.0, 400.0, 500.0],
+                noise: [1.8, 8.0, 16.0, 19.0, 14.0, 18.0],
+                burstiness: [0.004, 0.0, 0.005, 0.005, 0.008, 0.008],
+                burst_amp: [0.5, 0.0, 0.5, 0.5, 0.9, 0.9],
+            },
+            // Hadoop nodes are the "much more dynamic" case of §III.C:
+            // larger noise and far higher disk burstiness.
+            Role::MapNode => MetricProfile {
+                base: [20.0, 850.0, 250.0, 420.0, 350.0, 500.0],
+                load_gain: [40.0, 220.0, 600.0, 1400.0, 1800.0, 2600.0],
+                noise: [4.5, 16.0, 45.0, 80.0, 120.0, 170.0],
+                burstiness: [0.008, 0.0, 0.015, 0.02, 0.02, 0.02],
+                burst_amp: [0.35, 0.0, 0.7, 0.7, 0.35, 0.35],
+            },
+            Role::ReduceNode => MetricProfile {
+                base: [16.0, 780.0, 380.0, 180.0, 220.0, 320.0],
+                load_gain: [38.0, 200.0, 1500.0, 500.0, 900.0, 1400.0],
+                noise: [4.0, 14.0, 70.0, 30.0, 70.0, 100.0],
+                burstiness: [0.008, 0.0, 0.018, 0.012, 0.02, 0.02],
+                burst_amp: [0.35, 0.0, 0.5, 0.6, 0.45, 0.45],
+            },
+            Role::StreamPe => MetricProfile {
+                base: [18.0, 520.0, 420.0, 400.0, 12.0, 16.0],
+                load_gain: [35.0, 90.0, 1300.0, 1250.0, 10.0, 14.0],
+                noise: [2.2, 5.0, 35.0, 34.0, 2.0, 2.5],
+                burstiness: [0.005, 0.0, 0.007, 0.007, 0.002, 0.002],
+                burst_amp: [0.5, 0.0, 0.5, 0.5, 0.6, 0.6],
+            },
+        }
+    }
+
+    /// Baseline for one metric.
+    #[inline]
+    pub fn base_of(&self, kind: MetricKind) -> f64 {
+        self.base[kind.index()]
+    }
+
+    /// Load gain for one metric.
+    #[inline]
+    pub fn gain_of(&self, kind: MetricKind) -> f64 {
+        self.load_gain[kind.index()]
+    }
+
+    /// Noise sigma for one metric.
+    #[inline]
+    pub fn noise_of(&self, kind: MetricKind) -> f64 {
+        self.noise[kind.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_roles_have_sane_profiles() {
+        for role in [
+            Role::WebServer,
+            Role::AppServer,
+            Role::Database,
+            Role::MapNode,
+            Role::ReduceNode,
+            Role::StreamPe,
+        ] {
+            let p = MetricProfile::for_role(role);
+            for i in 0..6 {
+                assert!(p.base[i] >= 0.0, "{role:?} base[{i}]");
+                assert!(p.load_gain[i] >= 0.0, "{role:?} gain[{i}]");
+                assert!(p.noise[i] >= 0.0, "{role:?} noise[{i}]");
+                assert!((0.0..1.0).contains(&p.burstiness[i]), "{role:?} burst[{i}]");
+            }
+            // CPU base + full-load gain stays under 100 %.
+            assert!(p.base[0] + p.load_gain[0] <= 100.0, "{role:?} cpu overflow");
+        }
+    }
+
+    #[test]
+    fn hadoop_nodes_are_burstier_than_web_tier() {
+        let map = MetricProfile::for_role(Role::MapNode);
+        let web = MetricProfile::for_role(Role::WebServer);
+        let dw = MetricKind::DiskWrite.index();
+        assert!(map.burstiness[dw] > 5.0 * web.burstiness[dw]);
+        assert!(map.noise[dw] > 5.0 * web.noise[dw]);
+    }
+
+    #[test]
+    fn accessors_match_indices() {
+        let p = MetricProfile::for_role(Role::Database);
+        assert_eq!(p.base_of(MetricKind::Cpu), p.base[0]);
+        assert_eq!(p.gain_of(MetricKind::DiskWrite), p.load_gain[5]);
+        assert_eq!(p.noise_of(MetricKind::Memory), p.noise[1]);
+    }
+}

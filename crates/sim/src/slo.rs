@@ -1,0 +1,252 @@
+//! Service-level-objective definitions and violation detection.
+
+use fchain_metrics::Tick;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// The SLO of an application and its violation rule, matching §III.A of
+/// the paper:
+///
+/// * RUBiS — *average* request response time > 100 ms;
+/// * Hadoop — no job progress for more than 30 s;
+/// * System S — *average* per-tuple processing time > 20 ms.
+///
+/// Latency SLOs are averaged over a short sliding window (monitoring
+/// systems report mean latency, not instantaneous samples), which gives
+/// violation detection a realistic lag of a few seconds after fast faults.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SloSpec {
+    /// Request/tuple latency SLO: the instantaneous latency is
+    /// `base_ms * (1 + impact_gain * anomaly_level) + noise`; the reported
+    /// signal is its mean over the last `avg_window` ticks, and a
+    /// violation is declared after `consecutive` ticks over
+    /// `threshold_ms`.
+    Latency {
+        /// Fault-free latency in milliseconds.
+        base_ms: f64,
+        /// How strongly the worst component anomaly inflates latency.
+        impact_gain: f64,
+        /// Violation threshold in milliseconds.
+        threshold_ms: f64,
+        /// Sliding mean window in ticks.
+        avg_window: u32,
+        /// Required consecutive ticks over threshold.
+        consecutive: u32,
+    },
+    /// Job-progress SLO: progress increases at a rate proportional to
+    /// `1 - stall_gain * anomaly_level`; violated after `stall_secs` ticks
+    /// of (near-)zero progress.
+    Progress {
+        /// Rate multiplier applied to the anomaly level.
+        stall_gain: f64,
+        /// Progress rate below this fraction of nominal counts as stalled.
+        stall_fraction: f64,
+        /// Seconds of stall before a violation is declared.
+        stall_secs: u32,
+    },
+}
+
+impl SloSpec {
+    /// The RUBiS response-time SLO (violation at >100 ms, base ~40 ms).
+    pub fn rubis() -> Self {
+        SloSpec::Latency {
+            base_ms: 40.0,
+            impact_gain: 3.2,
+            threshold_ms: 100.0,
+            avg_window: 12,
+            consecutive: 3,
+        }
+    }
+
+    /// The Hadoop progress SLO (violation after 30 s without progress).
+    pub fn hadoop() -> Self {
+        SloSpec::Progress {
+            stall_gain: 1.05,
+            stall_fraction: 0.08,
+            stall_secs: 30,
+        }
+    }
+
+    /// The System S per-tuple-time SLO (violation at >20 ms, base ~8 ms).
+    pub fn systems() -> Self {
+        SloSpec::Latency {
+            base_ms: 8.0,
+            impact_gain: 2.8,
+            threshold_ms: 20.0,
+            avg_window: 12,
+            consecutive: 3,
+        }
+    }
+}
+
+/// Incremental SLO evaluator: feed the worst anomaly level each tick, get
+/// the SLO signal value and the first violation tick.
+#[derive(Debug, Clone)]
+pub struct SloStatus {
+    spec: SloSpec,
+    recent: VecDeque<f64>,
+    over_streak: u32,
+    stall_streak: u32,
+    violation_at: Option<Tick>,
+}
+
+impl SloStatus {
+    /// Creates an evaluator for a spec.
+    pub fn new(spec: SloSpec) -> Self {
+        SloStatus {
+            spec,
+            recent: VecDeque::new(),
+            over_streak: 0,
+            stall_streak: 0,
+            violation_at: None,
+        }
+    }
+
+    /// Feeds one tick. `anomaly_level` is the worst (max) component anomaly
+    /// level in `[0, 1]`; `noise` is a small additive latency jitter.
+    /// Returns the observable SLO signal value for the tick (mean latency
+    /// in ms, or progress rate for progress SLOs).
+    pub fn step(&mut self, t: Tick, anomaly_level: f64, noise: f64) -> f64 {
+        match &self.spec {
+            SloSpec::Latency {
+                base_ms,
+                impact_gain,
+                threshold_ms,
+                avg_window,
+                consecutive,
+            } => {
+                let instant = base_ms * (1.0 + impact_gain * anomaly_level) + noise;
+                self.recent.push_back(instant);
+                while self.recent.len() > *avg_window as usize {
+                    self.recent.pop_front();
+                }
+                let value = self.recent.iter().sum::<f64>() / self.recent.len() as f64;
+                if value > *threshold_ms {
+                    self.over_streak += 1;
+                    if self.over_streak >= *consecutive && self.violation_at.is_none() {
+                        self.violation_at = Some(t);
+                    }
+                } else {
+                    self.over_streak = 0;
+                }
+                value
+            }
+            SloSpec::Progress {
+                stall_gain,
+                stall_fraction,
+                stall_secs,
+            } => {
+                let rate = (1.0 - stall_gain * anomaly_level).max(0.0) + noise * 0.01;
+                if rate < *stall_fraction {
+                    self.stall_streak += 1;
+                    if self.stall_streak >= *stall_secs && self.violation_at.is_none() {
+                        self.violation_at = Some(t);
+                    }
+                } else {
+                    self.stall_streak = 0;
+                }
+                rate
+            }
+        }
+    }
+
+    /// First tick at which the SLO was declared violated, if any.
+    pub fn violation_at(&self) -> Option<Tick> {
+        self.violation_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn instant_latency() -> SloSpec {
+        SloSpec::Latency {
+            base_ms: 40.0,
+            impact_gain: 3.2,
+            threshold_ms: 100.0,
+            avg_window: 1,
+            consecutive: 3,
+        }
+    }
+
+    #[test]
+    fn latency_violation_needs_consecutive_ticks() {
+        let mut s = SloStatus::new(instant_latency());
+        // Anomaly level 0.6 -> 40 * (1 + 1.92) = 116.8 > 100.
+        s.step(0, 0.6, 0.0);
+        s.step(1, 0.6, 0.0);
+        assert_eq!(s.violation_at(), None); // only 2 consecutive
+        s.step(2, 0.0, 0.0); // reset
+        s.step(3, 0.6, 0.0);
+        s.step(4, 0.6, 0.0);
+        s.step(5, 0.6, 0.0);
+        assert_eq!(s.violation_at(), Some(5));
+    }
+
+    #[test]
+    fn averaging_window_delays_detection() {
+        let mut s = SloStatus::new(SloSpec::rubis());
+        for t in 0..100 {
+            s.step(t, 0.0, 0.0);
+        }
+        // Severe fault from t=100: instantaneous latency jumps to 168 ms,
+        // but the 12-sample mean needs several ticks to cross 100 ms.
+        for t in 100..140 {
+            s.step(t, 1.0, 0.0);
+        }
+        let v = s.violation_at().unwrap();
+        assert!(v > 105, "violation too early: {v}");
+        assert!(v < 125, "violation too late: {v}");
+    }
+
+    #[test]
+    fn healthy_latency_never_violates() {
+        let mut s = SloStatus::new(SloSpec::rubis());
+        for t in 0..1000 {
+            let v = s.step(t, 0.05, 2.0);
+            assert!(v < 100.0);
+        }
+        assert_eq!(s.violation_at(), None);
+    }
+
+    #[test]
+    fn progress_stall_detection() {
+        let mut s = SloStatus::new(SloSpec::hadoop());
+        for t in 0..100 {
+            s.step(t, 0.0, 0.0);
+        }
+        assert_eq!(s.violation_at(), None);
+        // Full stall: anomaly level ~1.
+        for t in 100..145 {
+            s.step(t, 1.0, 0.0);
+        }
+        let v = s.violation_at().unwrap();
+        assert!((129..=135).contains(&v), "violation at {v}");
+    }
+
+    #[test]
+    fn partial_slowdown_does_not_stall() {
+        let mut s = SloStatus::new(SloSpec::hadoop());
+        for t in 0..500 {
+            s.step(t, 0.5, 0.0); // rate 0.475, above stall fraction
+        }
+        assert_eq!(s.violation_at(), None);
+    }
+
+    #[test]
+    fn systems_thresholds() {
+        let mut s = SloStatus::new(SloSpec::systems());
+        // Healthy prefix fills the averaging window with ~8 ms samples.
+        for t in 0..50 {
+            s.step(t, 0.0, 0.0);
+        }
+        // level 0.8: instant 8 * (1 + 2.24) = 25.9 > 20; the 12-sample
+        // mean crosses 20 a few ticks later.
+        for t in 50..80 {
+            s.step(t, 0.8, 0.0);
+        }
+        let v = s.violation_at().unwrap();
+        assert!((55..=70).contains(&v), "violation at {v}");
+    }
+}

@@ -1,0 +1,150 @@
+//! Application topologies: components, roles, and the dataflow graph.
+
+use crate::slo::SloSpec;
+use fchain_deps::DependencyGraph;
+use serde::{Deserialize, Serialize};
+
+/// Which benchmark application a model describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AppKind {
+    /// RUBiS three-tier online auction benchmark (EJB version).
+    Rubis,
+    /// Hadoop MapReduce sorting job (3 map + 6 reduce nodes).
+    Hadoop,
+    /// IBM System S tax-calculation stream application (7 PEs, Fig. 2).
+    SystemS,
+}
+
+impl AppKind {
+    /// Short lowercase name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            AppKind::Rubis => "rubis",
+            AppKind::Hadoop => "hadoop",
+            AppKind::SystemS => "systems",
+        }
+    }
+}
+
+impl std::fmt::Display for AppKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The tier/role of a component, which selects its normal metric profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Role {
+    /// Apache web tier (RUBiS front end).
+    WebServer,
+    /// JBoss EJB application server.
+    AppServer,
+    /// MySQL database tier.
+    Database,
+    /// Hadoop map-task node (bursty disk I/O).
+    MapNode,
+    /// Hadoop reduce-task node.
+    ReduceNode,
+    /// System S processing element.
+    StreamPe,
+}
+
+/// One component (guest VM) of an application.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ComponentSpec {
+    /// Human-readable name ("web", "app1", "PE3", ...).
+    pub name: String,
+    /// Tier/role selecting the normal metric profile.
+    pub role: Role,
+}
+
+impl ComponentSpec {
+    /// Creates a component spec.
+    pub fn new(name: impl Into<String>, role: Role) -> Self {
+        ComponentSpec {
+            name: name.into(),
+            role,
+        }
+    }
+}
+
+/// A complete application model: components, the dataflow graph (edge
+/// `a -> b` means `a` sends requests/data to `b`), timing parameters of
+/// anomaly propagation, and the SLO definition.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AppModel {
+    /// Which benchmark this is.
+    pub kind: AppKind,
+    /// The component VMs; `ComponentId(i)` refers to `components[i]`.
+    pub components: Vec<ComponentSpec>,
+    /// Dataflow edges (`a -> b`: `a` sends requests/data to `b`).
+    pub dataflow: DependencyGraph,
+    /// Downstream (caller → callee) propagation delay range in ticks,
+    /// sampled per edge per run.
+    pub downstream_delay: (u64, u64),
+    /// Upstream back-pressure (callee → caller) delay range in ticks.
+    pub backpressure_delay: (u64, u64),
+    /// Per-hop attenuation of downstream propagation.
+    pub downstream_attenuation: f64,
+    /// Per-hop attenuation of back-pressure propagation.
+    pub backpressure_attenuation: f64,
+    /// SLO definition and detection rule.
+    pub slo: SloSpec,
+    /// Whether inter-component traffic is continuous (stream processing:
+    /// no inter-packet gaps, dependency discovery fails) or request/reply.
+    pub continuous_traffic: bool,
+}
+
+impl AppModel {
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether the model has no components (never true for the built-in
+    /// benchmarks).
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Index of a component by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is unknown (models are static; a typo is a bug).
+    pub fn component_named(&self, name: &str) -> fchain_metrics::ComponentId {
+        let idx = self
+            .components
+            .iter()
+            .position(|c| c.name == name)
+            .unwrap_or_else(|| panic!("unknown component name {name:?}"));
+        fchain_metrics::ComponentId(idx as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps;
+
+    #[test]
+    fn app_kind_names() {
+        assert_eq!(AppKind::Rubis.to_string(), "rubis");
+        assert_eq!(AppKind::Hadoop.name(), "hadoop");
+        assert_eq!(AppKind::SystemS.name(), "systems");
+    }
+
+    #[test]
+    fn component_lookup_by_name() {
+        let m = apps::rubis();
+        assert_eq!(m.component_named("web").0, 0);
+        assert_eq!(m.component_named("db").index(), 3);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown component")]
+    fn unknown_name_panics() {
+        let _ = apps::rubis().component_named("nosuch");
+    }
+}

@@ -1,0 +1,466 @@
+//! Workload intensity generators.
+//!
+//! The paper modulates RUBiS request rates with the NASA web server trace
+//! (July 1995) and System S tuple arrival rates with the ClarkNet trace
+//! (August 1995), both from the IRCache archive. Those archives are not
+//! available offline, so [`WebTrace`] synthesizes series with the same
+//! structure the evaluation relies on: a diurnal cycle, AR(1) short-term
+//! correlation, and occasional heavy bursts. What matters to FChain is
+//! that *normal* fluctuation is learnable by the online Markov model while
+//! fault signatures are not; these generators preserve that property.
+
+use fchain_metrics::Tick;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A source of workload intensity in `[0, 1]` per tick.
+pub trait Workload: std::fmt::Debug {
+    /// Intensity at tick `t`.
+    fn intensity(&self, t: Tick) -> f64;
+}
+
+/// Synthetic web-server workload shaped like the NASA / ClarkNet traces:
+/// `intensity(t) = base + diurnal sinusoid + AR(1) noise + rare bursts`,
+/// clamped to `[0, 1]`.
+///
+/// The series is precomputed at construction so lookups are pure and the
+/// generator is trivially shareable.
+///
+/// # Examples
+///
+/// ```
+/// use fchain_sim::{WebTrace, Workload};
+///
+/// let w = WebTrace::nasa_like(7, 3600);
+/// let v = w.intensity(100);
+/// assert!((0.0..=1.0).contains(&v));
+/// // Deterministic per seed.
+/// assert_eq!(v, WebTrace::nasa_like(7, 3600).intensity(100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct WebTrace {
+    series: Vec<f64>,
+}
+
+/// Parameters for [`WebTrace::with_params`].
+#[derive(Debug, Clone, Copy)]
+pub struct WebTraceParams {
+    /// Mean intensity level.
+    pub base: f64,
+    /// Diurnal sinusoid amplitude.
+    pub diurnal_amp: f64,
+    /// Diurnal period in ticks (the real traces span days; experiment runs
+    /// compress a "day" into ~30 simulated minutes).
+    pub diurnal_period: f64,
+    /// AR(1) coefficient of the correlated noise.
+    pub ar_coeff: f64,
+    /// Standard deviation of the AR(1) innovations.
+    pub ar_sigma: f64,
+    /// Per-tick probability of a burst.
+    pub burst_prob: f64,
+    /// Burst amplitude.
+    pub burst_amp: f64,
+    /// Mean burst duration in ticks.
+    pub burst_len: u64,
+}
+
+impl Default for WebTraceParams {
+    fn default() -> Self {
+        WebTraceParams {
+            base: 0.45,
+            diurnal_amp: 0.18,
+            diurnal_period: 1800.0,
+            ar_coeff: 0.9,
+            ar_sigma: 0.025,
+            burst_prob: 0.012,
+            burst_amp: 0.22,
+            burst_len: 8,
+        }
+    }
+}
+
+impl WebTrace {
+    /// NASA-'95-like trace (used for RUBiS request rates in the paper).
+    pub fn nasa_like(seed: u64, horizon: Tick) -> Self {
+        WebTrace::with_params(seed, horizon, WebTraceParams::default())
+    }
+
+    /// ClarkNet-'95-like trace (used for System S tuple arrival rates):
+    /// burstier and with a shorter effective cycle.
+    pub fn clarknet_like(seed: u64, horizon: Tick) -> Self {
+        WebTrace::with_params(
+            seed,
+            horizon,
+            WebTraceParams {
+                base: 0.5,
+                diurnal_amp: 0.15,
+                diurnal_period: 1200.0,
+                burst_prob: 0.016,
+                burst_amp: 0.25,
+                burst_len: 6,
+                ..WebTraceParams::default()
+            },
+        )
+    }
+
+    /// Fully parameterized construction.
+    pub fn with_params(seed: u64, horizon: Tick, p: WebTraceParams) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let n = horizon as usize + 1;
+        let mut series = Vec::with_capacity(n);
+        let mut ar = 0.0f64;
+        let mut burst_len = 0u64;
+        let mut burst_age = 0u64;
+        let mut burst_peak = 0.0f64;
+        for t in 0..n {
+            // Centered uniform sum approximates a Gaussian innovation.
+            let innovation: f64 = (0..4).map(|_| rng.gen::<f64>() - 0.5).sum::<f64>() / 2.0;
+            ar = p.ar_coeff * ar + p.ar_sigma * innovation * 3.0;
+            if burst_len == 0 && rng.gen::<f64>() < p.burst_prob {
+                burst_len = 4 + rng.gen_range(0..p.burst_len.max(1) * 2);
+                burst_age = 0;
+                burst_peak = p.burst_amp * (0.5 + 0.5 * rng.gen::<f64>());
+            }
+            // Real flash crowds ramp up and drain over a few seconds; the
+            // gradual envelope keeps per-tick transitions small enough for
+            // an online model to learn (the paper's premise that normal
+            // workload changes are *predictable*).
+            let burst = if burst_len > 0 {
+                let rise = (burst_age as f64 + 1.0) / 4.0;
+                let fall = (burst_len - burst_age) as f64 / 4.0;
+                burst_age += 1;
+                if burst_age >= burst_len {
+                    burst_len = 0;
+                }
+                burst_peak * rise.min(fall).min(1.0)
+            } else {
+                0.0
+            };
+            let diurnal =
+                p.diurnal_amp * (2.0 * std::f64::consts::PI * t as f64 / p.diurnal_period).sin();
+            series.push((p.base + diurnal + ar + burst).clamp(0.0, 1.0));
+        }
+        WebTrace { series }
+    }
+
+    /// Number of precomputed ticks.
+    pub fn horizon(&self) -> Tick {
+        self.series.len() as Tick - 1
+    }
+}
+
+impl Workload for WebTrace {
+    fn intensity(&self, t: Tick) -> f64 {
+        // Clamp beyond the horizon to the last value; runs never exceed the
+        // horizon they were constructed with.
+        let idx = (t as usize).min(self.series.len() - 1);
+        self.series[idx]
+    }
+}
+
+/// The phase activity of a Hadoop sorting job: map-heavy start, overlapping
+/// shuffle, reduce-heavy tail. Used as the "workload" of the Hadoop
+/// application model (there is no external client; activity is driven by
+/// the job itself).
+///
+/// # Examples
+///
+/// ```
+/// use fchain_sim::{HadoopPhases, Workload};
+///
+/// let job = HadoopPhases::new(3600);
+/// // Map activity dominates early...
+/// assert!(job.map_activity(100) > job.reduce_activity(100));
+/// // ...and reduce activity dominates late.
+/// assert!(job.reduce_activity(3000) > job.map_activity(3000));
+/// assert!((0.0..=1.0).contains(&job.intensity(1800)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct HadoopPhases {
+    duration: Tick,
+}
+
+impl HadoopPhases {
+    /// A job spanning `duration` ticks.
+    pub fn new(duration: Tick) -> Self {
+        assert!(duration > 0, "job duration must be non-zero");
+        HadoopPhases { duration }
+    }
+
+    /// Map-task activity in `[0, 1]`: high for the first ~60 % of the job,
+    /// then tapering.
+    pub fn map_activity(&self, t: Tick) -> f64 {
+        let frac = t as f64 / self.duration as f64;
+        if frac < 0.55 {
+            1.0
+        } else if frac < 0.75 {
+            1.0 - (frac - 0.55) / 0.2
+        } else {
+            0.05
+        }
+    }
+
+    /// Reduce-task activity in `[0, 1]`: shuffle trickle early, full burn
+    /// late.
+    pub fn reduce_activity(&self, t: Tick) -> f64 {
+        let frac = t as f64 / self.duration as f64;
+        if frac < 0.3 {
+            0.25
+        } else if frac < 0.6 {
+            0.25 + 0.75 * (frac - 0.3) / 0.3
+        } else {
+            1.0
+        }
+    }
+}
+
+impl Workload for HadoopPhases {
+    fn intensity(&self, t: Tick) -> f64 {
+        0.5 * (self.map_activity(t) + self.reduce_activity(t))
+    }
+}
+
+/// A workload replayed from recorded intensities — the hook for driving
+/// the simulator with *real* trace data (e.g. a normalized request-rate
+/// series derived from the NASA or ClarkNet archives) instead of the
+/// synthetic generators.
+///
+/// # Examples
+///
+/// ```
+/// use fchain_sim::{ReplayTrace, Workload};
+///
+/// let trace = ReplayTrace::from_csv("0,0.5\n1,0.75\n2,1.4\n").unwrap();
+/// assert_eq!(trace.intensity(1), 0.75);
+/// assert_eq!(trace.intensity(2), 1.0); // clamped into [0, 1]
+/// assert_eq!(trace.intensity(99), 1.0); // holds the last value
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayTrace {
+    series: Vec<f64>,
+}
+
+/// A malformed replay-trace line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayParseError {
+    /// 1-based line number of the offending record.
+    pub line: usize,
+    /// What was wrong.
+    pub reason: String,
+}
+
+impl std::fmt::Display for ReplayParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "replay trace line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ReplayParseError {}
+
+impl ReplayTrace {
+    /// Builds a trace from raw per-tick intensities (clamped to `[0, 1]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series is empty.
+    pub fn from_intensities(series: Vec<f64>) -> Self {
+        assert!(!series.is_empty(), "replay trace must be non-empty");
+        ReplayTrace {
+            series: series.into_iter().map(|v| v.clamp(0.0, 1.0)).collect(),
+        }
+    }
+
+    /// Parses `tick,intensity` CSV lines (blank lines and `#` comments are
+    /// skipped; ticks must be consecutive from the first record).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ReplayParseError`] naming the offending line.
+    pub fn from_csv(text: &str) -> Result<Self, ReplayParseError> {
+        let mut series = Vec::new();
+        let mut expected: Option<u64> = None;
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |reason: String| ReplayParseError {
+                line: i + 1,
+                reason,
+            };
+            let (tick_s, value_s) = line
+                .split_once(',')
+                .ok_or_else(|| err("expected `tick,intensity`".into()))?;
+            let tick: u64 = tick_s
+                .trim()
+                .parse()
+                .map_err(|_| err(format!("bad tick {tick_s:?}")))?;
+            let value: f64 = value_s
+                .trim()
+                .parse()
+                .map_err(|_| err(format!("bad intensity {value_s:?}")))?;
+            if !value.is_finite() {
+                return Err(err(format!("non-finite intensity {value}")));
+            }
+            match expected {
+                None => expected = Some(tick + 1),
+                Some(e) if e == tick => expected = Some(tick + 1),
+                Some(e) => {
+                    return Err(err(format!("expected tick {e}, found {tick}")));
+                }
+            }
+            series.push(value.clamp(0.0, 1.0));
+        }
+        if series.is_empty() {
+            return Err(ReplayParseError {
+                line: 0,
+                reason: "trace holds no records".into(),
+            });
+        }
+        Ok(ReplayTrace { series })
+    }
+
+    /// Number of recorded ticks.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Replay traces are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl Workload for ReplayTrace {
+    fn intensity(&self, t: Tick) -> f64 {
+        let idx = (t as usize).min(self.series.len() - 1);
+        self.series[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fchain_metrics::stats;
+
+    #[test]
+    fn web_trace_is_deterministic_and_bounded() {
+        let a = WebTrace::nasa_like(3, 2000);
+        let b = WebTrace::nasa_like(3, 2000);
+        for t in (0..2000).step_by(97) {
+            assert_eq!(a.intensity(t), b.intensity(t));
+            assert!((0.0..=1.0).contains(&a.intensity(t)));
+        }
+        assert_eq!(a.horizon(), 2000);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = WebTrace::nasa_like(1, 500);
+        let b = WebTrace::nasa_like(2, 500);
+        let same = (0..500).filter(|&t| a.intensity(t) == b.intensity(t)).count();
+        assert!(same < 50, "seeds produced nearly identical traces");
+    }
+
+    #[test]
+    fn trace_has_structure_not_constant() {
+        let w = WebTrace::nasa_like(5, 3600);
+        let xs: Vec<f64> = (0..3600).map(|t| w.intensity(t)).collect();
+        assert!(stats::std_dev(&xs) > 0.05, "trace too flat");
+        // AR(1) correlation: adjacent samples are closer than distant ones.
+        let adjacent: f64 = (1..3600)
+            .map(|i| (xs[i] - xs[i - 1]).abs())
+            .sum::<f64>()
+            / 3599.0;
+        let distant: f64 = (300..3600)
+            .map(|i| (xs[i] - xs[i - 300]).abs())
+            .sum::<f64>()
+            / 3300.0;
+        assert!(adjacent < distant, "no short-term correlation");
+    }
+
+    #[test]
+    fn clarknet_is_burstier_than_nasa() {
+        let nasa = WebTrace::nasa_like(11, 3600);
+        let clark = WebTrace::clarknet_like(11, 3600);
+        let spread = |w: &WebTrace| {
+            let xs: Vec<f64> = (0..3600).map(|t| w.intensity(t)).collect();
+            stats::percentile(&xs, 99.0).unwrap() - stats::percentile(&xs, 50.0).unwrap()
+        };
+        assert!(spread(&clark) > spread(&nasa) * 0.8);
+    }
+
+    #[test]
+    fn beyond_horizon_clamps() {
+        let w = WebTrace::nasa_like(1, 100);
+        assert_eq!(w.intensity(100), w.intensity(10_000));
+    }
+
+    #[test]
+    fn hadoop_phases_shift() {
+        let job = HadoopPhases::new(1000);
+        assert_eq!(job.map_activity(0), 1.0);
+        assert!(job.map_activity(900) < 0.1);
+        assert!(job.reduce_activity(0) < 0.5);
+        assert_eq!(job.reduce_activity(900), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duration")]
+    fn zero_duration_job_panics() {
+        let _ = HadoopPhases::new(0);
+    }
+
+    #[test]
+    fn replay_trace_parses_csv_with_comments() {
+        let trace = ReplayTrace::from_csv("# header\n0,0.2\n1,0.4\n\n2,0.6\n").unwrap();
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.intensity(0), 0.2);
+        assert_eq!(trace.intensity(2), 0.6);
+        assert_eq!(trace.intensity(50), 0.6);
+    }
+
+    #[test]
+    fn replay_trace_rejects_gaps_and_garbage() {
+        let err = ReplayTrace::from_csv("0,0.5\n2,0.5\n").unwrap_err();
+        assert!(err.to_string().contains("expected tick 1"));
+        assert!(ReplayTrace::from_csv("0,abc\n").is_err());
+        assert!(ReplayTrace::from_csv("zero,0.5\n").is_err());
+        assert!(ReplayTrace::from_csv("").is_err());
+        assert!(ReplayTrace::from_csv("0,NaN\n").is_err());
+    }
+
+    #[test]
+    fn replay_trace_clamps_intensities() {
+        let t = ReplayTrace::from_intensities(vec![-0.5, 1.7, 0.5]);
+        assert_eq!(t.intensity(0), 0.0);
+        assert_eq!(t.intensity(1), 1.0);
+        assert_eq!(t.intensity(2), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_replay_panics() {
+        let _ = ReplayTrace::from_intensities(vec![]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Every generator output stays in [0, 1] across seeds and params.
+        #[test]
+        fn intensity_always_bounded(seed in 0u64..1000, horizon in 10u64..2000) {
+            let w = WebTrace::clarknet_like(seed, horizon);
+            for t in 0..=horizon {
+                let v = w.intensity(t);
+                prop_assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Quickstart: simulate a faulty cloud application and let FChain find the
+//! culprit.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use fchain::core::{FChain, Verdict};
+use fchain::eval::case_from_run;
+use fchain::sim::{AppKind, FaultKind, RunConfig, Simulator};
+
+fn main() {
+    // One hour of the RUBiS three-tier auction benchmark with a CPU hog
+    // injected into the database VM at a random time.
+    let config = RunConfig::new(AppKind::Rubis, FaultKind::CpuHog, 42);
+    let run = Simulator::new(config).run();
+
+    let t_v = run.violation_at.expect("the CPU hog violates the SLO");
+    println!(
+        "fault: {} at {:?}, injected t={}s; SLO violated t={}s",
+        run.fault.kind, run.fault.targets, run.fault.start, t_v
+    );
+
+    // Build the diagnosis case (metric histories up to t_v + black-box
+    // dependency discovery over the pre-fault packet trace) and diagnose.
+    let case = case_from_run(&run, 100).expect("case");
+    let report = FChain::default().diagnose(&case);
+
+    assert_eq!(report.verdict, Verdict::Faulty);
+    println!("\nFChain verdict: {:?}", report.verdict);
+    for c in &report.pinpointed {
+        println!(
+            "pinpointed: {} ({})",
+            c,
+            run.model.components[c.index()].name
+        );
+    }
+    println!("\nabnormal change propagation chain:");
+    for (c, onset) in report.propagation_chain() {
+        println!(
+            "  t={onset:>5}  {} ({})",
+            c,
+            run.model.components[c.index()].name
+        );
+    }
+}

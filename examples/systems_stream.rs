@@ -1,0 +1,59 @@
+//! IBM System S stream processing: dependency discovery fails on gap-free
+//! stream traffic, yet FChain still localizes faults from the abnormal
+//! change propagation pattern alone (paper §II.C and Fig. 2).
+//!
+//! ```text
+//! cargo run --release --example systems_stream
+//! ```
+
+use fchain::core::FChain;
+use fchain::deps::{discover, DiscoveryConfig};
+use fchain::eval::case_from_run;
+use fchain::sim::{apps, AppKind, FaultKind, RunConfig, Simulator};
+
+fn main() {
+    // Fig. 2's scenario: a memory leak in PE3 of the 7-PE tax-calculation
+    // pipeline.
+    let model = apps::systems();
+    let pe3 = model.component_named("PE3");
+    let run = Simulator::new(
+        RunConfig::new(AppKind::SystemS, FaultKind::MemLeak, 0).with_targets(vec![pe3]),
+    )
+    .run();
+    let t_v = run.violation_at.expect("per-tuple time violates");
+    println!(
+        "MemLeak at PE3, injected t={}; tuple-time SLO violated t={t_v}",
+        run.fault.start
+    );
+
+    // Stream traffic is continuous: one tuple batch per tick, no
+    // inter-packet gaps — flow separation cannot work.
+    let normal: Vec<_> = run
+        .packets
+        .iter()
+        .filter(|p| p.tick < run.fault.start)
+        .copied()
+        .collect();
+    let discovered = discover(&normal, &DiscoveryConfig::default());
+    println!(
+        "\nblack-box dependency discovery over {} pre-fault packets: {} edges \
+         (the true dataflow has {})",
+        normal.len(),
+        discovered.edge_count(),
+        run.model.dataflow.edge_count()
+    );
+    assert!(discovered.is_empty(), "stream traffic must defeat discovery");
+    println!("-> the Dependency baseline is blind here; FChain is not:");
+
+    let case = case_from_run(&run, 100).expect("case");
+    let report = FChain::default().diagnose(&case);
+    println!("\nabnormal change propagation chain:");
+    for (c, onset) in report.propagation_chain() {
+        let name = &run.model.components[c.index()].name;
+        let mark = if c == pe3 { "  <- fault origin" } else { "" };
+        println!("  t={onset:>5}  {name}{mark}");
+    }
+    println!("\npinpointed: {:?}", report.pinpointed);
+    assert_eq!(report.pinpointed, vec![pe3]);
+    println!("PE3 correctly pinpointed from onset ordering alone.");
+}

@@ -1,0 +1,143 @@
+//! End-to-end integration: simulator → case construction → FChain
+//! diagnosis → validation, across applications and fault types.
+
+use fchain::core::{FChain, Verdict};
+use fchain::eval::{case_from_run, OracleProbe};
+use fchain::sim::{apps, AppKind, FaultKind, RunConfig, Simulator};
+
+/// Runs one seeded scenario and returns (report pinpointed, truth).
+fn diagnose(
+    app: AppKind,
+    fault: FaultKind,
+    seed: u64,
+    lookback: u64,
+) -> (Vec<fchain::metrics::ComponentId>, Vec<fchain::metrics::ComponentId>) {
+    let run = Simulator::new(RunConfig::new(app, fault, seed)).run();
+    let case = case_from_run(&run, lookback).expect("SLO violation expected");
+    let report = FChain::default().diagnose(&case);
+    (report.pinpointed, run.fault.targets)
+}
+
+#[test]
+fn rubis_cpuhog_is_localized_across_seeds() {
+    let mut hits = 0;
+    for seed in 0..6 {
+        let (pinpointed, truth) = diagnose(AppKind::Rubis, FaultKind::CpuHog, 900 + seed, 100);
+        if pinpointed == truth {
+            hits += 1;
+        }
+    }
+    assert!(hits >= 4, "only {hits}/6 CpuHog runs localized exactly");
+}
+
+#[test]
+fn rubis_memleak_back_pressure_does_not_fool_fchain() {
+    // The db is the last tier; every other abnormal component is
+    // back-pressure. FChain must still name the db.
+    let mut hits = 0;
+    for seed in 0..6 {
+        let (pinpointed, truth) = diagnose(AppKind::Rubis, FaultKind::MemLeak, 300 + seed, 100);
+        if pinpointed == truth {
+            hits += 1;
+        }
+    }
+    assert!(hits >= 4, "only {hits}/6 MemLeak runs localized exactly");
+}
+
+#[test]
+fn systems_random_pe_faults_are_localized() {
+    let mut hits = 0;
+    for seed in 0..6 {
+        let (pinpointed, truth) =
+            diagnose(AppKind::SystemS, FaultKind::MemLeak, 500 + seed, 100);
+        if pinpointed == truth {
+            hits += 1;
+        }
+    }
+    assert!(hits >= 4, "only {hits}/6 System S MemLeak runs localized");
+}
+
+#[test]
+fn hadoop_concurrent_faults_mostly_recovered() {
+    let mut tp = 0;
+    let mut total = 0;
+    for seed in 0..4 {
+        let (pinpointed, truth) =
+            diagnose(AppKind::Hadoop, FaultKind::ConcurrentMemLeak, 40 + seed, 100);
+        tp += pinpointed.iter().filter(|c| truth.contains(c)).count();
+        total += truth.len();
+    }
+    assert!(
+        tp * 2 >= total,
+        "recovered only {tp}/{total} concurrent leak targets"
+    );
+}
+
+#[test]
+fn validation_never_removes_a_true_positive_under_clean_observations() {
+    for seed in [11, 12, 13] {
+        let run = Simulator::new(
+            RunConfig::new(AppKind::Rubis, FaultKind::CpuHog, seed)
+                .with_duration(1800),
+        )
+        .run();
+        let case = case_from_run(&run, 100).expect("violation");
+        let fchain = FChain::default();
+        let plain = fchain.diagnose(&case);
+        let mut probe = OracleProbe::new(&run.oracle);
+        let validated = fchain.diagnose_validated(&case, &mut probe);
+        // Validation can only shrink the pinpointed set...
+        assert!(validated.pinpointed.len() <= plain.pinpointed.len());
+        // ...and the removed components are exactly the complement.
+        let mut reunion = validated.pinpointed.clone();
+        reunion.extend(validated.removed_by_validation.clone());
+        reunion.sort();
+        let mut original = plain.pinpointed.clone();
+        original.sort();
+        assert_eq!(reunion, original);
+    }
+}
+
+#[test]
+fn explicit_target_placement_is_respected() {
+    let model = apps::systems();
+    let pe5 = model.component_named("PE5");
+    let run = Simulator::new(
+        RunConfig::new(AppKind::SystemS, FaultKind::CpuHog, 77).with_targets(vec![pe5]),
+    )
+    .run();
+    assert_eq!(run.fault.targets, vec![pe5]);
+    let case = case_from_run(&run, 100).expect("violation");
+    let report = FChain::default().diagnose(&case);
+    assert_eq!(report.verdict, Verdict::Faulty);
+    assert!(
+        report.pinpointed.contains(&pe5),
+        "PE5 missing from {:?}",
+        report.pinpointed
+    );
+}
+
+#[test]
+fn diagnosis_is_deterministic() {
+    let run = || Simulator::new(RunConfig::new(AppKind::Rubis, FaultKind::LbBug, 21)).run();
+    let (a, b) = (run(), run());
+    let case_a = case_from_run(&a, 100).expect("violation");
+    let case_b = case_from_run(&b, 100).expect("violation");
+    let fchain = FChain::default();
+    assert_eq!(fchain.diagnose(&case_a).pinpointed, fchain.diagnose(&case_b).pinpointed);
+}
+
+#[test]
+fn no_violation_means_no_case() {
+    // Inject at the very end of a run so the SLO never (or barely) fires;
+    // if it never fires there is no diagnosis to make.
+    let run = Simulator::new(
+        RunConfig::new(AppKind::Rubis, FaultKind::MemLeak, 5)
+            .with_duration(1200)
+            .with_fault_window(0.97, 0.98),
+    )
+    .run();
+    if run.violation_at.is_none() {
+        assert!(case_from_run(&run, 100).is_none());
+    }
+}

@@ -1,0 +1,157 @@
+//! The paper's headline claims as executable assertions, at reduced scale
+//! (5–6 runs per campaign) so the suite stays fast. The full-scale
+//! versions live in the bench targets.
+
+use fchain::baselines::FixedFiltering;
+use fchain::core::{FChain, FChainConfig};
+use fchain::eval::{Campaign, Counts, OracleProbe};
+use fchain::sim::{AppKind, FaultKind};
+
+fn campaign(app: AppKind, fault: FaultKind, seed: u64, lookback: u64) -> Campaign {
+    Campaign {
+        app,
+        fault,
+        runs: 6,
+        base_seed: seed,
+        duration: 3600,
+        lookback,
+    }
+}
+
+fn f1(c: &Counts) -> f64 {
+    let (p, r) = (c.precision(), c.recall());
+    if p + r == 0.0 {
+        0.0
+    } else {
+        2.0 * p * r / (p + r)
+    }
+}
+
+/// §III.D / Fig. 11: online validation removes false alarms on the
+/// hardest fault and never manufactures recall.
+#[test]
+fn validation_raises_bottleneck_precision() {
+    let c = campaign(AppKind::SystemS, FaultKind::Bottleneck, 8800, 100);
+    let fchain = FChain::default();
+    let plain = c.evaluate(&[&fchain]);
+    let validated = c.evaluate_with(&[&fchain], |_s, case, run| {
+        let mut probe = OracleProbe::new(&run.oracle);
+        FChain::default().diagnose_validated(case, &mut probe).pinpointed
+    });
+    let (p, v) = (plain[0].counts, validated[0].counts);
+    assert!(
+        v.precision() > p.precision(),
+        "validation must raise precision: {p} -> {v}"
+    );
+    assert!(v.fp < p.fp, "validation must remove false positives");
+    assert!(
+        v.recall() <= p.recall() + 1e-9,
+        "validation cannot invent recall"
+    );
+}
+
+/// Fig. 12: FChain's burst-adaptive threshold beats every fixed threshold
+/// on the LBBug case.
+#[test]
+fn burst_adaptive_threshold_beats_fixed_thresholds() {
+    let c = campaign(AppKind::Rubis, FaultKind::LbBug, 8900, 100);
+    let fchain = FChain::default();
+    let f02 = FixedFiltering::new(0.2);
+    let f1s = FixedFiltering::new(1.0);
+    let f4 = FixedFiltering::new(4.0);
+    let results = c.evaluate(&[&fchain, &f02, &f1s, &f4]);
+    let fchain_f1 = f1(&results[0].counts);
+    for r in &results[1..] {
+        assert!(
+            fchain_f1 >= f1(&r.counts),
+            "FChain ({}) must dominate {} ({})",
+            results[0].counts,
+            r.scheme,
+            r.counts
+        );
+    }
+}
+
+/// Table I: W = 100 is the right default for fast faults, and DiskHog
+/// needs the long window.
+#[test]
+fn lookback_window_optimum_matches_the_paper() {
+    let fchain = FChain::default();
+    // NetHog: W=100 at least as good as W=500.
+    let short = campaign(AppKind::Rubis, FaultKind::NetHog, 9000, 100).evaluate(&[&fchain]);
+    let long = campaign(AppKind::Rubis, FaultKind::NetHog, 9000, 500).evaluate(&[&fchain]);
+    assert!(
+        f1(&short[0].counts) >= f1(&long[0].counts),
+        "nethog: W=100 {} should beat W=500 {}",
+        short[0].counts,
+        long[0].counts
+    );
+    // DiskHog: W=500 recall strictly better than W=100.
+    let short = campaign(AppKind::Hadoop, FaultKind::ConcurrentDiskHog, 9100, 100)
+        .evaluate(&[&fchain]);
+    let long = campaign(AppKind::Hadoop, FaultKind::ConcurrentDiskHog, 9100, 500)
+        .evaluate(&[&fchain]);
+    assert!(
+        long[0].counts.recall() >= short[0].counts.recall(),
+        "diskhog: W=500 {} should not lose recall to W=100 {}",
+        long[0].counts,
+        short[0].counts
+    );
+}
+
+/// §II.C: on a workload surge FChain mostly blames nobody, and strictly
+/// fewer components than PAL does.
+#[test]
+fn workload_surges_are_not_blamed_on_components() {
+    let c = campaign(AppKind::Rubis, FaultKind::WorkloadSurge, 9200, 100);
+    let fchain = FChain::default();
+    let pal = fchain::baselines::Pal::default();
+    let results = c.evaluate(&[&fchain, &pal]);
+    assert!(
+        results[0].counts.fp < results[1].counts.fp,
+        "FChain {} must blame fewer components than PAL {}",
+        results[0].counts,
+        results[1].counts
+    );
+}
+
+/// The overhead claim (§III.G): diagnosing from warm daemons is orders of
+/// magnitude cheaper than one second of wall clock per component, i.e.
+/// cheap enough for online use.
+#[test]
+fn warm_diagnosis_is_fast() {
+    use fchain::core::master::Master;
+    use fchain::core::slave::{MetricSample, SlaveDaemon};
+    use fchain::metrics::{ComponentId, MetricKind};
+    use std::sync::Arc;
+
+    let slave = Arc::new(SlaveDaemon::new(FChainConfig::default()));
+    for t in 0..1200u64 {
+        for c in 0..8u32 {
+            for kind in MetricKind::ALL {
+                let normal = 40.0 + ((t * (kind.index() as u64 + 2 + c as u64)) % 5) as f64;
+                let value = if c == 3 && kind == MetricKind::Cpu && t >= 1100 {
+                    normal + 50.0
+                } else {
+                    normal
+                };
+                slave.ingest(MetricSample {
+                    tick: t,
+                    component: ComponentId(c),
+                    kind,
+                    value,
+                });
+            }
+        }
+    }
+    let mut master = Master::new(FChainConfig::default());
+    master.register_slave(slave);
+    let start = std::time::Instant::now();
+    let report = master.on_violation(1190);
+    let elapsed = start.elapsed();
+    assert_eq!(report.pinpointed, vec![ComponentId(3)]);
+    assert!(
+        elapsed.as_millis() < 2000,
+        "warm 8-component diagnosis took {elapsed:?}"
+    );
+}

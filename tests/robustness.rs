@@ -1,0 +1,173 @@
+//! Robustness and invariant integration tests: the whole pipeline under
+//! hostile or randomized input, plus cross-run simulator invariants.
+
+use fchain::core::{CaseData, ComponentCase, FChain, Localizer};
+use fchain::metrics::{ComponentId, MetricKind, TimeSeries};
+use fchain::sim::{AppKind, FaultKind, RunConfig, Simulator};
+use proptest::prelude::*;
+
+fn case_from_series(per_component: Vec<Vec<f64>>) -> CaseData {
+    let n = per_component.first().map_or(0, Vec::len) as u64;
+    CaseData {
+        violation_at: n.saturating_sub(1),
+        lookback: 100,
+        components: per_component
+            .into_iter()
+            .enumerate()
+            .map(|(i, cpu)| {
+                let len = cpu.len();
+                let mut metrics: Vec<TimeSeries> = (0..6)
+                    .map(|k| {
+                        TimeSeries::from_samples(
+                            0,
+                            (0..len).map(|t| 10.0 + ((t * (k + 2)) % 4) as f64).collect(),
+                        )
+                    })
+                    .collect();
+                metrics[MetricKind::Cpu.index()] = TimeSeries::from_samples(0, cpu);
+                ComponentCase {
+                    id: ComponentId(i as u32),
+                    name: format!("c{i}"),
+                    metrics,
+                }
+            })
+            .collect(),
+        known_topology: None,
+        discovered_deps: None,
+        frontend: None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// FChain never panics and never blames a component outside the case,
+    /// no matter what the metric data looks like.
+    #[test]
+    fn diagnosis_is_total_on_arbitrary_data(
+        series in proptest::collection::vec(
+            proptest::collection::vec(-1e5f64..1e5, 300..500),
+            1..4,
+        )
+    ) {
+        let len = series.iter().map(Vec::len).min().unwrap();
+        let trimmed: Vec<Vec<f64>> = series.into_iter().map(|mut s| { s.truncate(len); s }).collect();
+        let n_components = trimmed.len();
+        let case = case_from_series(trimmed);
+        let report = FChain::default().diagnose(&case);
+        for c in &report.pinpointed {
+            prop_assert!((c.index()) < n_components);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Simulator invariants hold across arbitrary seeds: CPU stays within
+    /// [0, 100], nothing is negative, the violation follows the fault, and
+    /// packets are plausibly timestamped.
+    #[test]
+    fn simulator_invariants(seed in 0u64..10_000) {
+        let run = Simulator::new(
+            RunConfig::new(AppKind::Rubis, FaultKind::MemLeak, seed).with_duration(900),
+        )
+        .run();
+        for c in 0..run.component_count() as u32 {
+            let id = ComponentId(c);
+            for kind in MetricKind::ALL {
+                for (_, v) in run.metric(id, kind).iter() {
+                    prop_assert!(v.is_finite());
+                    prop_assert!(v >= 0.0, "{kind} negative: {v}");
+                    if kind == MetricKind::Cpu {
+                        prop_assert!(v <= 100.0, "cpu over 100: {v}");
+                    }
+                }
+            }
+        }
+        if let Some(t_v) = run.violation_at {
+            prop_assert!(t_v >= run.fault.start);
+        }
+        for p in &run.packets {
+            prop_assert!(p.tick < 900);
+            prop_assert!(p.src != p.dst);
+        }
+    }
+}
+
+#[test]
+fn diagnosing_an_all_constant_case_finds_nothing() {
+    let case = case_from_series(vec![vec![5.0; 400], vec![7.0; 400]]);
+    let report = FChain::default().diagnose(&case);
+    assert!(report.pinpointed.is_empty());
+}
+
+#[test]
+fn single_component_application_works() {
+    // Degenerate topology: one component, one fault.
+    let mut cpu: Vec<f64> = (0..600).map(|t| 20.0 + ((t * 3) % 6) as f64).collect();
+    for v in cpu.iter_mut().skip(550) {
+        *v += 60.0;
+    }
+    let case = case_from_series(vec![cpu]);
+    let report = FChain::default().diagnose(&case);
+    assert_eq!(report.pinpointed, vec![ComponentId(0)]);
+}
+
+#[test]
+fn zero_length_lookback_falls_back_to_config() {
+    let mut cpu: Vec<f64> = (0..600).map(|t| 20.0 + ((t * 3) % 6) as f64).collect();
+    for v in cpu.iter_mut().skip(550) {
+        *v += 60.0;
+    }
+    let mut case = case_from_series(vec![cpu]);
+    case.lookback = 0; // "unspecified" — the config's default W applies
+    let report = FChain::default().diagnose(&case);
+    assert_eq!(report.pinpointed, vec![ComponentId(0)]);
+}
+
+#[test]
+fn one_tick_clock_skew_does_not_change_the_diagnosis() {
+    // §II.B footnote: NTP keeps hosts within milliseconds and propagation
+    // delays are several seconds, so FChain tolerates small skews. At the
+    // 1 Hz sampling granularity the worst observable skew is one tick:
+    // shift one non-faulty host's series by a tick and the culprit must
+    // not change.
+    use fchain::core::CaseData;
+    use fchain::eval::case_from_run;
+    use fchain::sim::Simulator as Sim;
+
+    let run = Sim::new(RunConfig::new(AppKind::Rubis, FaultKind::MemLeak, 70)).run();
+    let case = case_from_run(&run, 100).expect("violation");
+    let baseline = FChain::default().diagnose(&case).pinpointed;
+    assert_eq!(baseline, run.fault.targets);
+
+    // Skew app1 (component 1) one tick late.
+    let mut skewed: CaseData = case.clone();
+    for metric in &mut skewed.components[1].metrics {
+        let mut values = metric.values().to_vec();
+        values.insert(0, values[0]);
+        values.pop();
+        *metric = TimeSeries::from_samples(metric.start(), values);
+    }
+    let shifted = FChain::default().diagnose(&skewed).pinpointed;
+    assert_eq!(shifted, baseline, "1-tick skew flipped the diagnosis");
+}
+
+#[test]
+fn localize_never_reports_duplicates() {
+    for seed in 0..6 {
+        let run = Simulator::new(
+            RunConfig::new(AppKind::Hadoop, FaultKind::ConcurrentMemLeak, seed)
+                .with_duration(1800),
+        )
+        .run();
+        let Some(case) = fchain::eval::case_from_run(&run, 100) else {
+            continue;
+        };
+        let pinpointed = FChain::default().localize(&case);
+        let mut dedup = pinpointed.clone();
+        dedup.dedup();
+        assert_eq!(pinpointed, dedup, "duplicates in {pinpointed:?}");
+    }
+}

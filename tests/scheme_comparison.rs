@@ -1,0 +1,140 @@
+//! Cross-crate integration: the paper's qualitative scheme ordering holds
+//! on shared campaigns. These are the *shape* claims of §III — who wins,
+//! and why — at small run counts to keep the suite fast.
+
+use fchain::baselines::{DependencyScheme, HistogramScheme, Pal, TopologyScheme};
+use fchain::core::{FChain, Localizer};
+use fchain::eval::Campaign;
+use fchain::sim::{AppKind, FaultKind};
+
+fn campaign(app: AppKind, fault: FaultKind, seed: u64) -> Campaign {
+    Campaign {
+        app,
+        fault,
+        runs: 6,
+        base_seed: seed,
+        duration: 3600,
+        lookback: if fault.is_slow_manifesting() { 500 } else { 100 },
+    }
+}
+
+#[test]
+fn fchain_beats_topology_on_back_pressure_faults() {
+    // MemLeak at the RUBiS database (last tier): the Topology scheme walks
+    // to the most upstream abnormal component and misses the culprit.
+    let c = campaign(AppKind::Rubis, FaultKind::MemLeak, 6000);
+    let fchain = FChain::default();
+    let topo = TopologyScheme::default();
+    let results = c.evaluate(&[&fchain, &topo]);
+    let (f, t) = (&results[0].counts, &results[1].counts);
+    assert!(
+        f.recall() > t.recall(),
+        "FChain {} vs Topology {}",
+        f,
+        t
+    );
+    assert!(f.precision() >= t.precision(), "FChain {f} vs Topology {t}");
+}
+
+#[test]
+fn topology_works_when_the_first_tier_is_faulty() {
+    // NetHog at the web tier: no back-pressure inversion, so the topology
+    // walk is correct (paper §III.B).
+    let c = campaign(AppKind::Rubis, FaultKind::NetHog, 6100);
+    let topo = TopologyScheme::default();
+    let results = c.evaluate(&[&topo]);
+    assert!(
+        results[0].counts.recall() >= 0.5,
+        "Topology should do well on NetHog: {}",
+        results[0].counts
+    );
+}
+
+#[test]
+fn dependency_scheme_collapses_on_stream_processing() {
+    // No dependencies are discoverable on System S, so the Dependency
+    // scheme outputs every outlier component: recall fine, precision poor.
+    let c = campaign(AppKind::SystemS, FaultKind::CpuHog, 6200);
+    let fchain = FChain::default();
+    let dep = DependencyScheme::default();
+    let results = c.evaluate(&[&fchain, &dep]);
+    let (f, d) = (&results[0].counts, &results[1].counts);
+    assert!(
+        f.precision() > d.precision() + 0.2,
+        "FChain {f} must clearly beat Dependency {d} on precision"
+    );
+}
+
+#[test]
+fn histogram_is_weaker_on_fast_faults_than_slow_ones() {
+    // CpuHog manifests for only a few seconds before detection; the
+    // recent-window histogram barely moves (paper §III.B).
+    let slow = campaign(AppKind::Rubis, FaultKind::MemLeak, 6300);
+    let fast = campaign(AppKind::Rubis, FaultKind::CpuHog, 6300);
+    let scheme = HistogramScheme::new(0.2);
+    let slow_counts = slow.evaluate(&[&scheme])[0].counts;
+    let fast_counts = fast.evaluate(&[&scheme])[0].counts;
+    let f1 = |c: &fchain::eval::Counts| {
+        let (p, r) = (c.precision(), c.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    };
+    assert!(
+        f1(&slow_counts) >= f1(&fast_counts),
+        "slow {slow_counts} should not be worse than fast {fast_counts}"
+    );
+}
+
+#[test]
+fn fchain_dominates_pal_overall() {
+    // PAL lacks the predictability filter and the dependency refinement;
+    // over a mixed bag of faults FChain must dominate on precision.
+    let mut f_total = fchain::eval::Counts::default();
+    let mut p_total = fchain::eval::Counts::default();
+    let fchain = FChain::default();
+    let pal = Pal::default();
+    for (app, fault, seed) in [
+        (AppKind::Rubis, FaultKind::CpuHog, 6400),
+        (AppKind::SystemS, FaultKind::MemLeak, 6500),
+        (AppKind::Hadoop, FaultKind::ConcurrentMemLeak, 6600),
+    ] {
+        let c = campaign(app, fault, seed);
+        let results = c.evaluate(&[&fchain, &pal]);
+        f_total.merge(results[0].counts);
+        p_total.merge(results[1].counts);
+    }
+    assert!(
+        f_total.precision() > p_total.precision(),
+        "FChain {f_total} vs PAL {p_total}"
+    );
+    assert!(
+        f_total.recall() > p_total.recall(),
+        "FChain {f_total} vs PAL {p_total}"
+    );
+}
+
+#[test]
+fn all_schemes_run_on_every_application() {
+    // Robustness: no scheme panics on any application's cases.
+    let fchain = FChain::default();
+    let topo = TopologyScheme::default();
+    let dep = DependencyScheme::default();
+    let pal = Pal::default();
+    let hist = HistogramScheme::new(0.1);
+    let schemes: Vec<&(dyn Localizer + Sync)> = vec![&fchain, &topo, &dep, &pal, &hist];
+    for (app, fault) in [
+        (AppKind::Rubis, FaultKind::OffloadBug),
+        (AppKind::SystemS, FaultKind::Bottleneck),
+        (AppKind::Hadoop, FaultKind::ConcurrentCpuHog),
+    ] {
+        let c = Campaign {
+            runs: 2,
+            ..campaign(app, fault, 6700)
+        };
+        let results = c.evaluate(&schemes);
+        assert_eq!(results.len(), schemes.len());
+    }
+}

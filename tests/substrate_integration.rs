@@ -1,0 +1,119 @@
+//! Substrate-level integration: the pieces below FChain compose correctly
+//! across crate boundaries (simulator ↔ dependency discovery ↔ model ↔
+//! detection).
+
+use fchain::deps::{decode_trace, discover, encode_trace, DiscoveryConfig};
+use fchain::detect::{CusumConfig, CusumDetector};
+use fchain::eval::case_from_run;
+use fchain::metrics::{ComponentId, MetricKind};
+use fchain::model::{LearnerConfig, OnlineLearner};
+use fchain::sim::{AppKind, FaultKind, RunConfig, Simulator};
+
+#[test]
+fn discovery_recovers_request_reply_topologies() {
+    for app in [AppKind::Rubis, AppKind::Hadoop] {
+        let run = Simulator::new(
+            RunConfig::new(app, FaultKind::MemLeakFor(app), 1).with_duration(1800),
+        )
+        .run();
+        let normal: Vec<_> = run
+            .packets
+            .iter()
+            .filter(|p| p.tick < run.fault.start)
+            .copied()
+            .collect();
+        let g = discover(&normal, &DiscoveryConfig::default());
+        for (a, b) in run.model.dataflow.edges() {
+            assert!(g.has_edge(a, b), "{app}: missing {a}->{b}");
+        }
+    }
+}
+
+#[test]
+fn packet_traces_roundtrip_through_the_storage_format() {
+    let run = Simulator::new(
+        RunConfig::new(AppKind::Rubis, FaultKind::CpuHog, 2).with_duration(900),
+    )
+    .run();
+    let bytes = encode_trace(&run.packets);
+    let decoded = decode_trace(&bytes).expect("well-formed trace");
+    assert_eq!(decoded, run.packets);
+}
+
+#[test]
+fn online_model_learns_simulated_normal_behavior() {
+    // The premise of the whole system: the simulator's *normal* metric
+    // behavior must be predictable by the online model.
+    let run = Simulator::new(
+        RunConfig::new(AppKind::Rubis, FaultKind::MemLeak, 3).with_duration(2400),
+    )
+    .run();
+    let t_f = run.fault.start;
+    for c in 0..run.component_count() as u32 {
+        let cpu = run.metric(ComponentId(c), MetricKind::Cpu);
+        let normal = cpu.window(0, t_f - 1);
+        let mut learner = OnlineLearner::new(LearnerConfig::default());
+        let errors = learner.train_errors(normal);
+        let late = &errors[normal.len() / 2..];
+        let mean_err = late.iter().sum::<f64>() / late.len() as f64;
+        assert!(
+            mean_err < 8.0,
+            "component {c}: normal CPU is unpredictable (mean error {mean_err:.2})"
+        );
+    }
+}
+
+#[test]
+fn cusum_sees_the_fault_the_model_flags() {
+    // Detection and prediction agree about where the action is.
+    let run = Simulator::new(
+        RunConfig::new(AppKind::Rubis, FaultKind::CpuHog, 4).with_duration(1800),
+    )
+    .run();
+    let t_v = run.violation_at.expect("violation");
+    let t_f = run.fault.start;
+    let cpu = run.metric(ComponentId(3), MetricKind::Cpu);
+    let window = cpu.window(t_v.saturating_sub(100), t_v);
+    let cps = CusumDetector::new(CusumConfig::default()).detect(window);
+    let offset = t_v.saturating_sub(100);
+    assert!(
+        cps.iter()
+            .any(|cp| (offset + cp.index as u64).abs_diff(t_f) <= 5),
+        "no change point near the injection time"
+    );
+}
+
+#[test]
+fn case_windows_agree_with_run_series() {
+    let run = Simulator::new(
+        RunConfig::new(AppKind::SystemS, FaultKind::CpuHog, 5).with_duration(1800),
+    )
+    .run();
+    let t_v = run.violation_at.expect("violation");
+    let case = case_from_run(&run, 100).expect("case");
+    for c in 0..run.component_count() as u32 {
+        let id = ComponentId(c);
+        for kind in MetricKind::ALL {
+            assert_eq!(
+                case.window(id, kind),
+                run.metric(id, kind).window(t_v - 100, t_v),
+                "window mismatch on {id}/{kind}"
+            );
+        }
+    }
+}
+
+/// Helper so the discovery test can pick a fault valid for each app.
+trait FaultFor {
+    #[allow(non_snake_case)]
+    fn MemLeakFor(app: AppKind) -> FaultKind;
+}
+
+impl FaultFor for FaultKind {
+    fn MemLeakFor(app: AppKind) -> FaultKind {
+        match app {
+            AppKind::Hadoop => FaultKind::ConcurrentMemLeak,
+            _ => FaultKind::MemLeak,
+        }
+    }
+}
