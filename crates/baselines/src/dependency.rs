@@ -40,10 +40,7 @@ impl Localizer for DependencyScheme {
             Some(graph) if !graph.is_empty() => ids
                 .iter()
                 .copied()
-                .filter(|&c| {
-                    !ids.iter()
-                        .any(|&a| a != c && graph.has_directed_path(a, c))
-                })
+                .filter(|&c| !ids.iter().any(|&a| a != c && graph.has_directed_path(a, c)))
                 .collect(),
             // No dependency information discovered: every abnormal
             // component is output (paper §III.A, scheme 4).

@@ -52,7 +52,11 @@ impl HistogramScheme {
             // A shared range keeps the histograms comparable.
             let lo = stats::min(all).unwrap_or(0.0);
             let hi = stats::max(all).unwrap_or(1.0);
-            let (lo, hi) = if hi > lo { (lo, hi) } else { (lo - 0.5, lo + 0.5) };
+            let (lo, hi) = if hi > lo {
+                (lo, hi)
+            } else {
+                (lo - 0.5, lo + 0.5)
+            };
             let mut h_all = stats::Histogram::new(lo, hi, self.bins);
             for &v in all {
                 h_all.add(v);
@@ -146,10 +150,7 @@ mod tests {
         let slow = scheme.score(&case(Some(860)), ComponentId(1));
         // Fault active for only 6 samples: weak shift.
         let fast = scheme.score(&case(Some(944)), ComponentId(1));
-        assert!(
-            slow > 4.0 * fast,
-            "slow {slow} should dominate fast {fast}"
-        );
+        assert!(slow > 4.0 * fast, "slow {slow} should dominate fast {fast}");
     }
 
     #[test]

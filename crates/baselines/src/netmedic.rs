@@ -252,9 +252,7 @@ mod tests {
             })
             .collect();
         let cpu: Vec<f64> = (0..n)
-            .map(|t| {
-                30.0 + ((t * 3) % 7) as f64 + if t >= 2050 { jump } else { 0.0 }
-            })
+            .map(|t| 30.0 + ((t * 3) % 7) as f64 + if t >= 2050 { jump } else { 0.0 })
             .collect();
         metrics[MetricKind::Cpu.index()] = TimeSeries::from_samples(0, cpu);
         ComponentCase {

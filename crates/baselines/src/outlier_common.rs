@@ -37,9 +37,7 @@ pub fn outlier_onsets(case: &CaseData, smoothing_half: usize) -> Vec<OutlierOnse
     for cc in &case.components {
         let mut best: Option<OutlierOnset> = None;
         for kind in MetricKind::ALL {
-            let window = cc
-                .metric(kind)
-                .window(window_start, case.violation_at);
+            let window = cc.metric(kind).window(window_start, case.violation_at);
             if window.len() < 20 {
                 continue;
             }
@@ -120,16 +118,17 @@ mod tests {
         let onsets = outlier_onsets(&c, 2);
         assert_eq!(onsets.len(), 1);
         assert_eq!(onsets[0].id, ComponentId(1));
-        assert!((695..=705).contains(&onsets[0].onset), "{}", onsets[0].onset);
+        assert!(
+            (695..=705).contains(&onsets[0].onset),
+            "{}",
+            onsets[0].onset
+        );
         assert_eq!(onsets[0].direction, Trend::Up);
     }
 
     #[test]
     fn output_is_sorted_by_onset() {
-        let c = case(vec![
-            component(0, Some(710)),
-            component(1, Some(690)),
-        ]);
+        let c = case(vec![component(0, Some(710)), component(1, Some(690))]);
         let onsets = outlier_onsets(&c, 2);
         assert_eq!(onsets.len(), 2);
         assert_eq!(onsets[0].id, ComponentId(1));

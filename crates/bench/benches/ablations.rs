@@ -16,11 +16,10 @@
 //!   blame nobody).
 use fchain_baselines::{HistogramScheme, NetMedic, Pal, TopologyScheme};
 use fchain_core::{CaseData, FChain, FChainConfig, Localizer};
+#[allow(unused_imports)]
 use fchain_eval::{render, Campaign, Counts};
 use fchain_metrics::ComponentId;
 use fchain_sim::{AppKind, FaultKind};
-#[allow(unused_imports)]
-use fchain_deps;
 use serde_json::json;
 
 /// FChain with the dependency information withheld.
@@ -114,9 +113,16 @@ fn main() {
     let campaign = Campaign::new(AppKind::Rubis, FaultKind::WorkloadSurge, 9300);
     let results = campaign.evaluate(&schemes);
     println!("== ablation: external workload surge, rubis (truth: blame nobody) ==");
-    println!("{:<28} {:>18} {:>12}", "scheme", "false positives", "clean runs");
+    println!(
+        "{:<28} {:>18} {:>12}",
+        "scheme", "false positives", "clean runs"
+    );
     for r in &results {
-        let clean = r.outcomes.iter().filter(|o| o.pinpointed.is_empty()).count();
+        let clean = r
+            .outcomes
+            .iter()
+            .filter(|o| o.pinpointed.is_empty())
+            .count();
         println!(
             "{:<28} {:>18} {:>9}/{}",
             r.scheme,
@@ -129,8 +135,13 @@ fn main() {
     }
     // --- dependency discovery methods: Sherlock-style gaps vs Orion-style
     // delay spikes, per application ----------------------------------------
-    println!("== ablation: dependency discovery methods (edges recovered / true edges, spurious) ==");
-    println!("{:<10} {:>22} {:>22}", "app", "gap/co-occurrence", "delay spikes (Orion)");
+    println!(
+        "== ablation: dependency discovery methods (edges recovered / true edges, spurious) =="
+    );
+    println!(
+        "{:<10} {:>22} {:>22}",
+        "app", "gap/co-occurrence", "delay spikes (Orion)"
+    );
     for app in [AppKind::Rubis, AppKind::Hadoop, AppKind::SystemS] {
         let run = fchain_sim::Simulator::new(fchain_sim::RunConfig::new(
             app,

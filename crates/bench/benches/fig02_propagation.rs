@@ -13,8 +13,8 @@ fn main() {
     // Scan seeds until the run manifests the full 3-hop chain of Fig. 2.
     let mut blocks = Vec::new();
     for seed in 0..50u64 {
-        let cfg = RunConfig::new(AppKind::SystemS, FaultKind::MemLeak, seed)
-            .with_targets(vec![pe3]);
+        let cfg =
+            RunConfig::new(AppKind::SystemS, FaultKind::MemLeak, seed).with_targets(vec![pe3]);
         let run = Simulator::new(cfg).run();
         let Some(case) = case_from_run(&run, 100) else {
             continue;
@@ -24,10 +24,17 @@ fn main() {
         if chain.len() < 3 || chain[0].0 != pe3 {
             continue;
         }
-        println!("seed {seed}: fault MemLeak at PE3, injected t={}", run.fault.start);
+        println!(
+            "seed {seed}: fault MemLeak at PE3, injected t={}",
+            run.fault.start
+        );
         println!("abnormal change propagation chain (component, onset):");
         for (c, onset) in &chain {
-            println!("  {} ({})  t={onset}", c, run.model.components[c.index()].name);
+            println!(
+                "  {} ({})  t={onset}",
+                c,
+                run.model.components[c.index()].name
+            );
         }
         println!("pinpointed: {:?}", report.pinpointed);
         blocks.push(json!({

@@ -21,7 +21,11 @@ fn main() {
     let mut blocks = Vec::new();
 
     for (label, comp, metric) in [
-        ("faulty map node / DiskWrite", ComponentId(0), MetricKind::DiskWrite),
+        (
+            "faulty map node / DiskWrite",
+            ComponentId(0),
+            MetricKind::DiskWrite,
+        ),
         ("normal reduce node / CPU", ComponentId(4), MetricKind::Cpu),
     ] {
         let window = case.window(comp, metric);

@@ -30,7 +30,10 @@ fn main() {
     println!("{}", render::series_line("expected_err", &expected));
     let lo = expected.iter().copied().fold(f64::INFINITY, f64::min);
     let hi = expected.iter().copied().fold(0.0f64, f64::max);
-    println!("range: min {lo:.2} max {hi:.2} (bursty segments get ~{:.0}x the stable threshold)", hi / lo.max(1e-9));
+    println!(
+        "range: min {lo:.2} max {hi:.2} (bursty segments get ~{:.0}x the stable threshold)",
+        hi / lo.max(1e-9)
+    );
     fchain_bench::dump_json(
         "fig04_burst_threshold",
         &[json!({"t": ticks, "expected_error": expected})],

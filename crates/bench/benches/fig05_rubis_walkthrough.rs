@@ -12,21 +12,31 @@ fn main() {
     let app1 = model.component_named("app1");
     let mut blocks = Vec::new();
     for seed in 0..50u64 {
-        let cfg = RunConfig::new(AppKind::Rubis, FaultKind::CpuHog, seed)
-            .with_targets(vec![app1]);
+        let cfg = RunConfig::new(AppKind::Rubis, FaultKind::CpuHog, seed).with_targets(vec![app1]);
         let run = Simulator::new(cfg).run();
-        let Some(case) = case_from_run(&run, 100) else { continue };
+        let Some(case) = case_from_run(&run, 100) else {
+            continue;
+        };
         let report = FChain::default().diagnose(&case);
         let chain = report.propagation_chain();
         if report.pinpointed != vec![app1] || chain.len() < 2 {
             continue;
         }
-        println!("seed {seed}: CpuHog at app1, injected t={}", run.fault.start);
+        println!(
+            "seed {seed}: CpuHog at app1, injected t={}",
+            run.fault.start
+        );
         println!("abnormal change chain:");
         for (c, onset) in &chain {
-            println!("  {} ({})  onset t={onset}", c, run.model.components[c.index()].name);
+            println!(
+                "  {} ({})  onset t={onset}",
+                c,
+                run.model.components[c.index()].name
+            );
         }
-        println!("pinpointed: app1 (earliest onset; later components explained by dependency paths)");
+        println!(
+            "pinpointed: app1 (earliest onset; later components explained by dependency paths)"
+        );
         blocks.push(json!({
             "seed": seed,
             "chain": chain.iter().map(|(c, t)| json!({
@@ -35,6 +45,9 @@ fn main() {
         }));
         break;
     }
-    assert!(!blocks.is_empty(), "no run produced the Fig. 5 walk-through");
+    assert!(
+        !blocks.is_empty(),
+        "no run produced the Fig. 5 walk-through"
+    );
     fchain_bench::dump_json("fig05_rubis_walkthrough", &blocks);
 }

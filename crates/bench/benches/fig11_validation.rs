@@ -21,7 +21,9 @@ fn main() {
         let plain = campaign.evaluate(&[&fchain]);
         let validated = campaign.evaluate_with(&[&fchain], |_s, case, run| {
             let mut probe = OracleProbe::new(&run.oracle);
-            FChain::default().diagnose_validated(case, &mut probe).pinpointed
+            FChain::default()
+                .diagnose_validated(case, &mut probe)
+                .pinpointed
         });
         let rows: Vec<(String, Counts)> = vec![
             ("FChain".into(), plain[0].counts),

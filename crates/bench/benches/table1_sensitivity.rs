@@ -18,11 +18,13 @@ fn main() {
     for w in [100u64, 300, 500] {
         let mut cols = Vec::new();
         for (i, (app, fault)) in CELLS.into_iter().enumerate() {
-            let campaign =
-                Campaign::new(app, fault, 7000 + 13 * i as u64).with_lookback(w);
+            let campaign = Campaign::new(app, fault, 7000 + 13 * i as u64).with_lookback(w);
             let fchain = FChain::default();
             let res = campaign.evaluate(&[&fchain]);
-            cols.push(format!("{app}/{fault}: {}", render::pr_cell(&res[0].counts)));
+            cols.push(format!(
+                "{app}/{fault}: {}",
+                render::pr_cell(&res[0].counts)
+            ));
             blocks.push(json!({
                 "param": "lookback", "value": w,
                 "app": app.name(), "fault": fault.name(),
@@ -43,7 +45,10 @@ fn main() {
                 ..FChainConfig::default()
             });
             let res = campaign.evaluate(&[&fchain]);
-            cols.push(format!("{app}/{fault}: {}", render::pr_cell(&res[0].counts)));
+            cols.push(format!(
+                "{app}/{fault}: {}",
+                render::pr_cell(&res[0].counts)
+            ));
             blocks.push(json!({
                 "param": "concurrency", "value": thr,
                 "app": app.name(), "fault": fault.name(),

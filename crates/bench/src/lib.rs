@@ -38,7 +38,10 @@ pub fn comparison_schemes() -> Vec<Box<dyn Localizer + Sync>> {
         )));
     }
     for d in NETMEDIC_SWEEP {
-        schemes.push(Box::new(Named::new(format!("NetMedic(d={d})"), NetMedic::new(d))));
+        schemes.push(Box::new(Named::new(
+            format!("NetMedic(d={d})"),
+            NetMedic::new(d),
+        )));
     }
     schemes.push(Box::new(TopologyScheme::default()));
     schemes.push(Box::new(DependencyScheme::default()));

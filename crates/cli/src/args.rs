@@ -39,7 +39,10 @@ impl fmt::Display for ArgError {
                 flag,
                 value,
                 expected,
-            } => write!(f, "invalid value {value:?} for --{flag} (expected {expected})"),
+            } => write!(
+                f,
+                "invalid value {value:?} for --{flag} (expected {expected})"
+            ),
         }
     }
 }
@@ -87,11 +90,7 @@ impl Args {
     }
 
     /// A parsed numeric/bool flag with a default.
-    pub fn get_parsed<T: std::str::FromStr>(
-        &self,
-        key: &str,
-        default: T,
-    ) -> Result<T, ArgError> {
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
         match self.get(key) {
             None => Ok(default),
             Some(v) => v.parse().map_err(|_| ArgError::Invalid {

@@ -1,9 +1,7 @@
 //! The `fchain` subcommand implementations.
 
 use crate::args::Args;
-use fchain_baselines::{
-    DependencyScheme, HistogramScheme, NetMedic, Pal, TopologyScheme,
-};
+use fchain_baselines::{DependencyScheme, HistogramScheme, NetMedic, Pal, TopologyScheme};
 use fchain_core::{FChain, Localizer, Verdict};
 use fchain_eval::{case_from_run, render, Campaign, OracleProbe};
 use fchain_metrics::MetricKind;
@@ -107,7 +105,10 @@ pub fn run(args: &Args) -> CliResult {
         run.fault.start
     );
     match run.violation_at {
-        Some(t_v) => println!("SLO violated at t={t_v} ({} s after injection)", t_v - run.fault.start),
+        Some(t_v) => println!(
+            "SLO violated at t={t_v} ({} s after injection)",
+            t_v - run.fault.start
+        ),
         None => println!("SLO never violated"),
     }
     println!("\nper-component means before/after injection:");
@@ -197,7 +198,10 @@ pub fn diagnose(args: &Args) -> CliResult {
                 println!("  {} ({})", c, run.model.components[c.index()].name);
             }
             if !report.removed_by_validation.is_empty() {
-                println!("removed by online validation: {:?}", report.removed_by_validation);
+                println!(
+                    "removed by online validation: {:?}",
+                    report.removed_by_validation
+                );
             }
         }
         Verdict::ExternalFactor(trend) => {
@@ -306,9 +310,18 @@ fn fault_defined(app: AppKind, fault: FaultKind) -> bool {
     matches!(
         (app, fault),
         (_, WorkloadSurge)
-            | (AppKind::Rubis, MemLeak | CpuHog | NetHog | OffloadBug | LbBug)
-            | (AppKind::SystemS, MemLeak | CpuHog | Bottleneck | ConcurrentMemLeak | ConcurrentCpuHog)
-            | (AppKind::Hadoop, ConcurrentMemLeak | ConcurrentCpuHog | ConcurrentDiskHog)
+            | (
+                AppKind::Rubis,
+                MemLeak | CpuHog | NetHog | OffloadBug | LbBug
+            )
+            | (
+                AppKind::SystemS,
+                MemLeak | CpuHog | Bottleneck | ConcurrentMemLeak | ConcurrentCpuHog
+            )
+            | (
+                AppKind::Hadoop,
+                ConcurrentMemLeak | ConcurrentCpuHog | ConcurrentDiskHog
+            )
     )
 }
 
@@ -320,7 +333,10 @@ mod tests {
     fn app_and_fault_parsing() {
         assert_eq!(parse_app("rubis").unwrap(), AppKind::Rubis);
         assert!(parse_app("nope").is_err());
-        assert_eq!(parse_fault("conc_cpuhog").unwrap(), FaultKind::ConcurrentCpuHog);
+        assert_eq!(
+            parse_fault("conc_cpuhog").unwrap(),
+            FaultKind::ConcurrentCpuHog
+        );
         assert!(parse_fault("nope").is_err());
     }
 
@@ -343,8 +359,16 @@ mod tests {
     #[test]
     fn diagnose_command_end_to_end() {
         let args = Args::parse([
-            "diagnose", "--app", "rubis", "--fault", "cpuhog", "--seed", "42", "--duration",
-            "1500", "--json",
+            "diagnose",
+            "--app",
+            "rubis",
+            "--fault",
+            "cpuhog",
+            "--seed",
+            "42",
+            "--duration",
+            "1500",
+            "--json",
         ])
         .unwrap();
         diagnose(&args).expect("diagnose runs");
@@ -380,7 +404,14 @@ mod tests {
     #[test]
     fn run_command_end_to_end() {
         let args = Args::parse([
-            "run", "--app", "systems", "--fault", "bottleneck", "--seed", "3", "--duration",
+            "run",
+            "--app",
+            "systems",
+            "--fault",
+            "bottleneck",
+            "--seed",
+            "3",
+            "--duration",
             "1200",
         ])
         .unwrap();

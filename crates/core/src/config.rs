@@ -127,7 +127,10 @@ impl FChainConfig {
             (0.0..=100.0).contains(&self.burst_percentile),
             "burst_percentile must be in [0, 100]"
         );
-        assert!(self.tangent_epsilon > 0.0, "tangent_epsilon must be positive");
+        assert!(
+            self.tangent_epsilon > 0.0,
+            "tangent_epsilon must be positive"
+        );
     }
 }
 

@@ -85,16 +85,40 @@ impl Master {
 
     /// Collects every slave's abnormal-change findings for the look-back
     /// window ending at `violation_at`.
+    ///
+    /// In deployment this fans out over the network and the slaves compute
+    /// in parallel ("FChain also distributes the change point computation
+    /// load on different hosts", §III.G); here the fan-out is a scoped
+    /// thread per slave daemon. Per-slave results are assembled in
+    /// registration order before the final sort, so the outcome is
+    /// identical to a sequential loop.
     pub fn collect_findings(&self, violation_at: Tick) -> Vec<ComponentFinding> {
-        // In deployment this fans out over the network and the slaves
-        // compute in parallel ("FChain also distributes the change point
-        // computation load on different hosts", §III.G); here the fan-out
-        // is a loop over daemon handles.
-        let mut findings: Vec<ComponentFinding> = self
-            .slaves
-            .iter()
-            .flat_map(|s| s.analyze_all(violation_at))
-            .collect();
+        let mut findings: Vec<ComponentFinding> = if self.slaves.len() <= 1 {
+            self.slaves
+                .iter()
+                .flat_map(|s| s.analyze_all(violation_at))
+                .collect()
+        } else {
+            let slots: Vec<parking_lot::Mutex<Vec<ComponentFinding>>> =
+                self.slaves.iter().map(|_| Default::default()).collect();
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                let workers = std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+                    .min(self.slaves.len());
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= self.slaves.len() {
+                            break;
+                        }
+                        *slots[i].lock() = self.slaves[i].analyze_all(violation_at);
+                    });
+                }
+            });
+            slots.into_iter().flat_map(|m| m.into_inner()).collect()
+        };
         findings.sort_by_key(|f| f.id);
         findings.dedup_by_key(|f| f.id);
         findings
@@ -102,7 +126,26 @@ impl Master {
 
     /// Full diagnosis on an SLO violation.
     pub fn on_violation(&self, violation_at: Tick) -> DiagnosisReport {
-        let findings = self.collect_findings(violation_at);
+        self.report_from_findings(self.collect_findings(violation_at))
+    }
+
+    /// Reference single-threaded diagnosis: identical to
+    /// [`Master::on_violation`] with every fan-out replaced by a plain
+    /// loop. The parallel path is required (and tested) to produce a
+    /// bit-identical report for the same state.
+    pub fn on_violation_sequential(&self, violation_at: Tick) -> DiagnosisReport {
+        let mut findings: Vec<ComponentFinding> = self
+            .slaves
+            .iter()
+            .flat_map(|s| s.analyze_all_sequential(violation_at))
+            .collect();
+        findings.sort_by_key(|f| f.id);
+        findings.dedup_by_key(|f| f.id);
+        self.report_from_findings(findings)
+    }
+
+    /// Integrated pinpointing over already-collected findings.
+    fn report_from_findings(&self, findings: Vec<ComponentFinding>) -> DiagnosisReport {
         let (verdict, pinpointed) = pinpoint(&PinpointInput {
             findings: &findings,
             dependencies: self.dependencies.as_ref(),
@@ -220,8 +263,7 @@ mod tests {
         feed(&slave, 2, 1000, None); // a normal component: not an external factor
         let mut master = Master::new(FChainConfig::default());
         master.register_slave(slave);
-        let report =
-            master.on_violation_validated(990, &mut ApproveOnly(ComponentId(1)));
+        let report = master.on_violation_validated(990, &mut ApproveOnly(ComponentId(1)));
         assert_eq!(report.pinpointed, vec![ComponentId(1)]);
         assert_eq!(report.removed_by_validation, vec![ComponentId(0)]);
     }

@@ -270,8 +270,8 @@ mod tests {
         let fs = vec![
             finding(0, None, Trend::Up), // web stays normal
             finding(1, Some(200), Trend::Up),
-            finding(2, Some(208), Trend::Up),  // sibling: independent fault
-            finding(3, Some(211), Trend::Up),  // depends on app1: plausible
+            finding(2, Some(208), Trend::Up), // sibling: independent fault
+            finding(3, Some(211), Trend::Up), // depends on app1: plausible
             finding(10, Some(215), Trend::Up), // other app: independent
         ];
         let (_, p) = run(&fs, Some(&deps));

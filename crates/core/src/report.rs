@@ -22,7 +22,7 @@ pub struct AbnormalChange {
 }
 
 /// Per-component result of the slave's abnormal change point selection.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ComponentFinding {
     /// The component.
     pub id: ComponentId,
@@ -83,7 +83,7 @@ pub enum Verdict {
 }
 
 /// The complete output of one FChain diagnosis.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DiagnosisReport {
     /// Overall conclusion.
     pub verdict: Verdict,

@@ -20,6 +20,8 @@ use fchain_metrics::{ComponentId, MetricKind, RingBuffer, Tick};
 use fchain_model::OnlineLearner;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Longest monitoring gap (ticks) bridged by carrying the last value
 /// forward; anything longer counts as an outage and the series restarts
@@ -59,6 +61,22 @@ impl MetricState {
     }
 }
 
+/// One component's shard: its six metric series under a single lock, so
+/// ingestion into one component never contends with the ingestion or
+/// analysis of any other.
+#[derive(Debug, Default)]
+struct ComponentState {
+    /// Indexed by [`MetricKind::index`]; `None` until the first sample of
+    /// that kind arrives.
+    metrics: [Option<MetricState>; 6],
+}
+
+impl ComponentState {
+    fn series(&self) -> usize {
+        self.metrics.iter().flatten().count()
+    }
+}
+
 /// The continuously-running per-host slave module.
 ///
 /// Thread-safe: monitoring threads feed samples while the master thread
@@ -93,7 +111,10 @@ pub struct SlaveDaemon {
     config: FChainConfig,
     /// How many recent samples each metric retains.
     capacity: usize,
-    states: Mutex<BTreeMap<(ComponentId, MetricKind), MetricState>>,
+    /// Component directory. The outer lock is held only long enough to
+    /// look up (or create) a component's shard; all sample and analysis
+    /// work happens under the per-component lock.
+    shards: Mutex<BTreeMap<ComponentId, Arc<Mutex<ComponentState>>>>,
 }
 
 impl SlaveDaemon {
@@ -107,8 +128,22 @@ impl SlaveDaemon {
         SlaveDaemon {
             config,
             capacity,
-            states: Mutex::new(BTreeMap::new()),
+            shards: Mutex::new(BTreeMap::new()),
         }
+    }
+
+    /// The shard of `component`, created on first use.
+    fn shard(&self, component: ComponentId) -> Arc<Mutex<ComponentState>> {
+        Arc::clone(self.shards.lock().entry(component).or_default())
+    }
+
+    /// A snapshot of the component directory in id order.
+    fn shard_list(&self) -> Vec<(ComponentId, Arc<Mutex<ComponentState>>)> {
+        self.shards
+            .lock()
+            .iter()
+            .map(|(&c, shard)| (c, Arc::clone(shard)))
+            .collect()
     }
 
     /// Overrides the per-metric history capacity (samples).
@@ -128,20 +163,22 @@ impl SlaveDaemon {
 
     /// The number of (component, metric) series currently monitored.
     pub fn monitored_series(&self) -> usize {
-        self.states.lock().len()
+        self.shard_list()
+            .iter()
+            .map(|(_, shard)| shard.lock().series())
+            .sum()
     }
 
     /// Rough resident footprint of the daemon's state in bytes (rings +
     /// model matrices). The paper reports ~3 MB per host daemon (§III.G);
     /// this estimator makes the bound checkable in tests and dashboards.
     pub fn approx_memory_bytes(&self) -> usize {
-        let states = self.states.lock();
         let per_metric = 2 * self.capacity * std::mem::size_of::<f64>() // value+error rings
             + {
                 let b = self.config.learner.bins;
                 (b * b + 2 * b) * std::mem::size_of::<f64>() // transition matrix + masses
             };
-        states.len() * per_metric
+        self.monitored_series() * per_metric
     }
 
     /// Feeds one sample, updating the online model incrementally.
@@ -150,10 +187,10 @@ impl SlaveDaemon {
     /// out-of-order samples are dropped (monitoring pipelines may repeat
     /// a tick on reconnect).
     pub fn ingest(&self, sample: MetricSample) {
-        let mut states = self.states.lock();
-        let state = states
-            .entry((sample.component, sample.kind))
-            .or_insert_with(|| MetricState::new(&self.config, self.capacity));
+        let shard = self.shard(sample.component);
+        let mut comp = shard.lock();
+        let state = comp.metrics[sample.kind.index()]
+            .get_or_insert_with(|| MetricState::new(&self.config, self.capacity));
         if let Some(last) = state.last_tick {
             if sample.tick <= last {
                 return;
@@ -190,11 +227,25 @@ impl SlaveDaemon {
     /// "abnormal change point selection" line of Table II instead of the
     /// "normal fluctuation modeling" line times the history length.
     pub fn analyze(&self, component: ComponentId, violation_at: Tick) -> Option<ComponentFinding> {
-        let states = self.states.lock();
+        let shard = {
+            let shards = self.shards.lock();
+            Arc::clone(shards.get(&component)?)
+        };
+        let comp = shard.lock();
+        self.analyze_shard(component, &comp, violation_at)
+    }
+
+    /// The per-component analysis, run under that component's lock.
+    fn analyze_shard(
+        &self,
+        component: ComponentId,
+        comp: &ComponentState,
+        violation_at: Tick,
+    ) -> Option<ComponentFinding> {
         let mut changes: Vec<AbnormalChange> = Vec::new();
         let mut seen = false;
         for kind in MetricKind::ALL {
-            let Some(state) = states.get(&(component, kind)) else {
+            let Some(state) = comp.metrics[kind.index()].as_ref() else {
                 continue;
             };
             seen = true;
@@ -232,17 +283,50 @@ impl SlaveDaemon {
         })
     }
 
-    /// Analyzes every monitored component (the whole host) at once.
+    /// Analyzes every monitored component (the whole host) at once, in
+    /// parallel across components.
+    ///
+    /// Bit-identical to [`SlaveDaemon::analyze_all_sequential`]: each
+    /// component's analysis is independent and deterministic, and results
+    /// are assembled in component-id order regardless of which worker
+    /// finishes first.
     pub fn analyze_all(&self, violation_at: Tick) -> Vec<ComponentFinding> {
-        let components: Vec<ComponentId> = {
-            let states = self.states.lock();
-            let mut ids: Vec<ComponentId> = states.keys().map(|&(c, _)| c).collect();
-            ids.dedup();
-            ids
-        };
-        components
-            .into_iter()
-            .filter_map(|c| self.analyze(c, violation_at))
+        let shards = self.shard_list();
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(shards.len());
+        if workers <= 1 {
+            return shards
+                .iter()
+                .filter_map(|(c, shard)| self.analyze_shard(*c, &shard.lock(), violation_at))
+                .collect();
+        }
+        let slots: Vec<Mutex<Option<ComponentFinding>>> =
+            shards.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= shards.len() {
+                        break;
+                    }
+                    let (c, shard) = &shards[i];
+                    *slots[i].lock() = self.analyze_shard(*c, &shard.lock(), violation_at);
+                });
+            }
+        });
+        slots.into_iter().filter_map(Mutex::into_inner).collect()
+    }
+
+    /// Reference single-threaded implementation of
+    /// [`SlaveDaemon::analyze_all`]; the parallel path is tested to match
+    /// it exactly.
+    pub fn analyze_all_sequential(&self, violation_at: Tick) -> Vec<ComponentFinding> {
+        self.shard_list()
+            .iter()
+            .filter_map(|(c, shard)| self.analyze_shard(*c, &shard.lock(), violation_at))
             .collect()
     }
 }
@@ -324,10 +408,12 @@ mod tests {
     fn memory_stays_bounded() {
         let daemon = SlaveDaemon::new(FChainConfig::default());
         feed_component(&daemon, ComponentId(0), 20_000, None);
-        let states = daemon.states.lock();
-        for state in states.values() {
-            assert!(state.values.len() <= daemon.capacity);
-            assert!(state.errors.len() <= daemon.capacity);
+        for (_, shard) in daemon.shard_list() {
+            let comp = shard.lock();
+            for state in comp.metrics.iter().flatten() {
+                assert!(state.values.len() <= daemon.capacity);
+                assert!(state.errors.len() <= daemon.capacity);
+            }
         }
     }
 
@@ -374,7 +460,14 @@ mod tests {
         }
         // 500-tick outage, then a resumed clean stream with a late step.
         for t in 700..1700u64 {
-            daemon.ingest(mk(t, if t >= 1650 { 95.0 } else { 40.0 + (t % 5) as f64 }));
+            daemon.ingest(mk(
+                t,
+                if t >= 1650 {
+                    95.0
+                } else {
+                    40.0 + (t % 5) as f64
+                },
+            ));
         }
         let finding = daemon.analyze(c, 1690).expect("monitored");
         let onset = finding.onset().expect("step found after the reset");
@@ -423,7 +516,68 @@ mod tests {
             }
         }
         writer.join().expect("writer thread");
-        assert!(findings > 0, "analysis under concurrent ingestion found nothing");
+        assert!(
+            findings > 0,
+            "analysis under concurrent ingestion found nothing"
+        );
+    }
+
+    #[test]
+    fn parallel_analyze_all_matches_sequential() {
+        let daemon = SlaveDaemon::new(FChainConfig::default());
+        feed_component(&daemon, ComponentId(0), 1000, Some(930));
+        feed_component(&daemon, ComponentId(1), 1000, None);
+        feed_component(&daemon, ComponentId(2), 1000, Some(945));
+        feed_component(&daemon, ComponentId(3), 1000, None);
+        assert_eq!(daemon.analyze_all(990), daemon.analyze_all_sequential(990));
+    }
+
+    #[test]
+    fn stress_ingest_during_analyze_all() {
+        // Four writer threads keep feeding fresh ticks while the daemon
+        // repeatedly analyzes the whole host. The run must not deadlock,
+        // and a replay of the final state must reproduce the same findings
+        // sequentially (analysis is a pure function of the shard state at
+        // the violation tick, and ticks past `violation_at` are ignored).
+        let daemon = Arc::new(SlaveDaemon::new(FChainConfig::default()));
+        for c in 0..4u32 {
+            feed_component(&daemon, ComponentId(c), 900, (c % 2 == 0).then_some(850));
+        }
+        let writers: Vec<_> = (0..4u32)
+            .map(|c| {
+                let d = Arc::clone(&daemon);
+                std::thread::spawn(move || {
+                    for t in 900..1200u64 {
+                        for kind in MetricKind::ALL {
+                            d.ingest(MetricSample {
+                                tick: t,
+                                component: ComponentId(c),
+                                kind,
+                                value: 40.0 + ((t * (kind.index() as u64 + 2)) % 5) as f64,
+                            });
+                        }
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..10 {
+            let findings = daemon.analyze_all(890);
+            assert_eq!(findings.len(), 4, "all four components must be analyzed");
+        }
+        for w in writers {
+            w.join().expect("writer thread");
+        }
+        // Once ingestion has quiesced the parallel path must agree with a
+        // sequential replay of the same state, sample for sample.
+        let parallel = daemon.analyze_all(890);
+        let replay = daemon.analyze_all_sequential(890);
+        assert_eq!(parallel, replay);
+        let faulty: Vec<ComponentId> = replay
+            .iter()
+            .filter(|f| f.onset().is_some())
+            .map(|f| f.id)
+            .collect();
+        assert_eq!(faulty, vec![ComponentId(0), ComponentId(2)]);
     }
 
     #[test]

@@ -13,4 +13,4 @@ pub mod rollback;
 pub mod selection;
 
 pub use daemon::{MetricSample, SlaveDaemon};
-pub use selection::analyze_component;
+pub use selection::{analyze_component, select_abnormal_changes};

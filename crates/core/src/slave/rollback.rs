@@ -104,9 +104,8 @@ pub fn rollback_onset(
         // Smoothing smears steps; also test the cumulative movement over a
         // few consecutive ticks.
         let spread_limit = DISCONTINUITY_NOISE_UNITS * SPREAD_TICKS as f64 / 2.0 * noise;
-        let smeared_jump = (scan_from..=scan_to.saturating_sub(SPREAD_TICKS)).any(|i| {
-            (window[i + SPREAD_TICKS] - window[i]).abs() > spread_limit
-        });
+        let smeared_jump = (scan_from..=scan_to.saturating_sub(SPREAD_TICKS))
+            .any(|i| (window[i + SPREAD_TICKS] - window[i]).abs() > spread_limit);
         if single_jump || smeared_jump {
             break;
         }

@@ -61,9 +61,11 @@ pub fn analyze_component(
         }
         // Monitoring pipelines occasionally emit NaN/Inf samples (divide-
         // by-zero rates, counter wraps); carry the previous value forward
-        // so one bad sample cannot poison the statistics.
+        // so one bad sample cannot poison the statistics. Seeding from the
+        // first *finite* sample keeps a non-finite head from injecting a
+        // phantom 0-to-baseline step at the start of the history.
         let sanitized: Vec<f64> = {
-            let mut prev = 0.0;
+            let mut prev = hist.iter().copied().find(|v| v.is_finite()).unwrap_or(0.0);
             hist.iter()
                 .map(|&v| {
                     if v.is_finite() {
@@ -105,7 +107,13 @@ fn analyze_metric(
 /// detection, outlier filtering, the predictability filter and rollback,
 /// given an already-computed causal prediction-error series aligned with
 /// `hist` (the last sample of both is at `violation_at`).
-pub(crate) fn select_abnormal_changes(
+///
+/// Public so the latency benches can drive the exact deployed pipeline on
+/// precomputed error series; [`analyze_component`] and [`SlaveDaemon`]
+/// are the intended entry points.
+///
+/// [`SlaveDaemon`]: crate::slave::SlaveDaemon
+pub fn select_abnormal_changes(
     hist: &[f64],
     errors: &[f64],
     kind: MetricKind,
@@ -116,9 +124,16 @@ pub(crate) fn select_abnormal_changes(
     let detector = CusumDetector::new(config.cusum.clone());
     let n = hist.len();
     debug_assert_eq!(hist.len(), errors.len(), "errors must align with samples");
+    // Degenerate windows: an empty or misaligned history has nothing to
+    // select from, and every index computation below assumes `n >= 1`.
+    if n == 0 || errors.len() != n {
+        return None;
+    }
 
     // Adaptive floor: the model's typical error during the pre-window
     // period (skip the calibration prefix where errors are trivially 0).
+    // `w` is clamped so that `lookback >= n` degrades to "the whole
+    // history minus one sample" instead of underflowing `window_start`.
     let w = (lookback as usize).min(n.saturating_sub(1));
     let normal_span_start = config.learner.calibration_samples.min(n.saturating_sub(1));
     let normal_span_end = n.saturating_sub(w).max(normal_span_start + 1).min(n);
@@ -171,11 +186,16 @@ pub(crate) fn select_abnormal_changes(
         config.high_freq_fraction,
         config.burst_percentile,
     ) * config.burst_scale;
+    // The expectation is anchored at the first change point, not at the
+    // outlier under test, so it is loop-invariant: synthesize it once
+    // instead of re-running the FFT per outlier.
+    let expected = expected_error(hist, anchor, config)
+        .min(head)
+        .max(error_floor);
     let mut abnormal: Vec<(ChangePoint, f64, f64)> = Vec::new();
     for cp in &outliers {
         let abs_idx = window_start + cp.index;
         let real = real_error(errors, abs_idx, config.error_slack as usize);
-        let expected = expected_error(hist, anchor, config).min(head).max(error_floor);
         // A genuine regime change keeps surprising the model for several
         // ticks; an isolated noise spike does not. Requiring sustained
         // errors alongside the peak filters one-tick accidents.
@@ -187,16 +207,17 @@ pub(crate) fn select_abnormal_changes(
         }
     }
     // 4. Earliest abnormal change point wins; roll it back to the onset.
-    let (cp, real, expected) = abnormal
-        .into_iter()
-        .min_by_key(|(cp, _, _)| cp.index)?;
+    let (cp, real, expected) = abnormal.into_iter().min_by_key(|(cp, _, _)| cp.index)?;
     let onset_idx = super::rollback::rollback_onset(
         &window_smooth,
         &change_points,
         &cp,
         config.tangent_epsilon,
     );
-    let to_tick = |idx: usize| violation_at - (w as Tick) + idx as Tick;
+    // Saturating: a caller-supplied `violation_at` smaller than the window
+    // (possible for synthetic or truncated histories) must clamp to tick 0
+    // rather than underflow.
+    let to_tick = |idx: usize| violation_at.saturating_sub(w as Tick) + idx as Tick;
     Some(AbnormalChange {
         metric: kind,
         change_at: to_tick(cp.index),
@@ -290,7 +311,9 @@ mod tests {
     }
 
     fn periodic(n: usize) -> Vec<f64> {
-        (0..n).map(|t| 30.0 + 4.0 * ((t % 12) as f64 / 12.0) + ((t * 7) % 3) as f64).collect()
+        (0..n)
+            .map(|t| 30.0 + 4.0 * ((t % 12) as f64 / 12.0) + ((t * 7) % 3) as f64)
+            .collect()
     }
 
     #[test]
@@ -346,7 +369,11 @@ mod tests {
         let mut vals = Vec::with_capacity(1500);
         for t in 0..1500usize {
             let base = 500.0 + 80.0 * ((t % 20) as f64 / 20.0);
-            let burst = if (t * 2654435761) % 13 == 0 { 900.0 } else { 0.0 };
+            let burst = if (t * 2654435761) % 13 == 0 {
+                900.0
+            } else {
+                0.0
+            };
             vals.push(base + burst);
         }
         let c = component(vals);
@@ -376,6 +403,36 @@ mod tests {
         let f = analyze_component(&c, 1150, 100, &FChainConfig::default());
         let onset = f.onset().expect("step still selected despite NaN/Inf");
         assert!((1095..=1105).contains(&onset), "onset {onset}");
+    }
+
+    #[test]
+    fn leading_non_finite_samples_do_not_fake_a_step() {
+        // A NaN head used to be sanitized to 0.0, which made the first
+        // real sample look like a 0-to-baseline step; the carry-forward
+        // must instead seed from the first finite sample.
+        let mut cpu = periodic(1200);
+        cpu[0] = f64::NAN;
+        cpu[1] = f64::NEG_INFINITY;
+        cpu[2] = f64::NAN;
+        let c = component(cpu);
+        let f = analyze_component(&c, 1150, 100, &FChainConfig::default());
+        assert!(
+            f.changes.is_empty(),
+            "NaN head must not look like a change: {:?}",
+            f.changes
+        );
+    }
+
+    #[test]
+    fn all_non_finite_history_is_benign() {
+        let c = component(vec![f64::NAN; 1200]);
+        let f = analyze_component(&c, 1150, 100, &FChainConfig::default());
+        let cpu_changes: Vec<_> = f
+            .changes
+            .iter()
+            .filter(|ch| ch.metric == MetricKind::Cpu)
+            .collect();
+        assert!(cpu_changes.is_empty(), "{cpu_changes:?}");
     }
 
     #[test]
@@ -415,5 +472,35 @@ mod tests {
         assert!(kinds.contains(&MetricKind::Memory), "{kinds:?}");
         // Component onset is the earliest of the two.
         assert!(f.onset().unwrap() <= 1102);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Selection must survive every history/look-back/violation shape —
+        /// empty windows, `lookback >= n`, violations earlier than the
+        /// window — without any slice-length or arithmetic panic.
+        #[test]
+        fn degenerate_windows_never_panic(
+            hist in proptest::collection::vec(0.0f64..100.0, 0..150),
+            lookback in 0u64..400,
+            violation_at in 0u64..2000,
+        ) {
+            let errors: Vec<f64> = hist.iter().map(|x| (x * 0.01).abs()).collect();
+            let _ = select_abnormal_changes(
+                &hist,
+                &errors,
+                MetricKind::Cpu,
+                violation_at,
+                lookback,
+                &FChainConfig::default(),
+            );
+        }
     }
 }

@@ -64,9 +64,7 @@ impl DependencyGraph {
 
     /// Whether the exact directed edge exists.
     pub fn has_edge(&self, from: ComponentId, to: ComponentId) -> bool {
-        self.forward
-            .get(&from.0)
-            .is_some_and(|s| s.contains(&to.0))
+        self.forward.get(&from.0).is_some_and(|s| s.contains(&to.0))
     }
 
     /// Whether the graph has no edges at all (the System S discovery

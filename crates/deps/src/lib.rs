@@ -79,14 +79,18 @@ impl Default for DiscoveryConfig {
 /// the System S failure mode.
 pub fn discover(packets: &[Packet], config: &DiscoveryConfig) -> DependencyGraph {
     let flows = extract_flows(packets, config.flow_gap);
-    let mut counts: std::collections::BTreeMap<(u32, u32), usize> = std::collections::BTreeMap::new();
+    let mut counts: std::collections::BTreeMap<(u32, u32), usize> =
+        std::collections::BTreeMap::new();
     for flow in &flows {
         *counts.entry((flow.src.0, flow.dst.0)).or_insert(0) += 1;
     }
     let mut graph = DependencyGraph::new();
     for (&(src, dst), &n) in &counts {
         if n >= config.min_flows {
-            graph.add_edge(fchain_metrics::ComponentId(src), fchain_metrics::ComponentId(dst));
+            graph.add_edge(
+                fchain_metrics::ComponentId(src),
+                fchain_metrics::ComponentId(dst),
+            );
         }
     }
     graph
@@ -101,7 +105,12 @@ mod tests {
         let mut out = Vec::new();
         for b in 0..bursts {
             for t in 0..2 {
-                out.push(Packet::new(b * 20 + t, ComponentId(src), ComponentId(dst), 256));
+                out.push(Packet::new(
+                    b * 20 + t,
+                    ComponentId(src),
+                    ComponentId(dst),
+                    256,
+                ));
             }
         }
         out

@@ -137,8 +137,7 @@ fn has_spike(delays: &[u64], config: &OrionConfig) -> bool {
     let total = delays.len();
     let uniform = total as f64 / bins as f64;
     counts.iter().any(|&c| {
-        c as f64 >= config.spike_fraction * total as f64
-            && c as f64 >= config.spike_ratio * uniform
+        c as f64 >= config.spike_fraction * total as f64 && c as f64 >= config.spike_ratio * uniform
     })
 }
 

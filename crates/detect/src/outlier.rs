@@ -139,7 +139,10 @@ mod tests {
         let cps = vec![cp(10, 40.0), cp(30, 45.0), cp(50, 42.0), cp(70, 44.0)];
         let kept = magnitude_outliers(&cps, &window, &OutlierConfig::default());
         // All magnitudes are comparable: no outlier population separation.
-        assert!(kept.len() >= 3, "all similar magnitudes should pass or fail together");
+        assert!(
+            kept.len() >= 3,
+            "all similar magnitudes should pass or fail together"
+        );
     }
 
     #[test]

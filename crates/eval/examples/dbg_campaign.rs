@@ -27,19 +27,33 @@ fn main() {
     let fchain = FChain::default();
     for i in 0..campaign.runs {
         let run = campaign.run_record(i);
-        let Some(case) = case_from_run(&run, campaign.lookback) else { continue };
+        let Some(case) = case_from_run(&run, campaign.lookback) else {
+            continue;
+        };
         let report = fchain.diagnose(&case);
         let ok = report.pinpointed == run.fault.targets;
-        if ok { continue; }
-        println!("seed={} t_f={} t_v={} truth={:?} pinned={:?} verdict={:?}",
-            run.seed, run.fault.start, run.violation_at.unwrap(), run.fault.targets,
-            report.pinpointed, report.verdict);
+        if ok {
+            continue;
+        }
+        println!(
+            "seed={} t_f={} t_v={} truth={:?} pinned={:?} verdict={:?}",
+            run.seed,
+            run.fault.start,
+            run.violation_at.unwrap(),
+            run.fault.targets,
+            report.pinpointed,
+            report.verdict
+        );
         for f in &report.findings {
-            if f.changes.is_empty() { continue; }
+            if f.changes.is_empty() {
+                continue;
+            }
             let name = &run.model.components[f.id.index()].name;
             for ch in &f.changes {
-                println!("   {name} {} cp={} onset={} err={:.1} exp={:.1}",
-                    ch.metric, ch.change_at, ch.onset, ch.prediction_error, ch.expected_error);
+                println!(
+                    "   {name} {} cp={} onset={} err={:.1} exp={:.1}",
+                    ch.metric, ch.change_at, ch.onset, ch.prediction_error, ch.expected_error
+                );
             }
         }
     }

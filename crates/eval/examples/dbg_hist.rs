@@ -16,6 +16,10 @@ fn main() {
         let scores: Vec<String> = (0..run.component_count() as u32)
             .map(|c| format!("C{c}={:.2}", scheme.score(&case, ComponentId(c))))
             .collect();
-        println!("{app}/{fault} truth={:?}: {}", run.fault.targets, scores.join(" "));
+        println!(
+            "{app}/{fault} truth={:?}: {}",
+            run.fault.targets,
+            scores.join(" ")
+        );
     }
 }

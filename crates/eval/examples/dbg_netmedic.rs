@@ -6,12 +6,18 @@ use fchain_metrics::ComponentId;
 use fchain_sim::{AppKind, FaultKind, RunConfig, Simulator};
 
 fn main() {
-    let run = Simulator::new(RunConfig::new(AppKind::Rubis, FaultKind::MemLeak, 1003).with_duration(3600)).run();
+    let run = Simulator::new(
+        RunConfig::new(AppKind::Rubis, FaultKind::MemLeak, 1003).with_duration(3600),
+    )
+    .run();
     let case = case_from_run(&run, 100).unwrap();
     println!("truth={:?} frontend={:?}", run.fault.targets, case.frontend);
     let nm = NetMedic::new(0.1);
     for c in 0..4u32 {
-        println!("C{c}: abnormality={:.3}", nm.abnormality(&case, ComponentId(c)));
+        println!(
+            "C{c}: abnormality={:.3}",
+            nm.abnormality(&case, ComponentId(c))
+        );
     }
     println!("picked: {:?}", nm.localize(&case));
 }

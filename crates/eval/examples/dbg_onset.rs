@@ -6,13 +6,22 @@ use fchain_metrics::{ComponentId, MetricKind, TimeSeries};
 fn component(id: u32, jump_at: usize) -> ComponentCase {
     let n = 1200usize;
     let mut metrics: Vec<TimeSeries> = (0..6)
-        .map(|k| TimeSeries::from_samples(0, (0..n).map(|t| 40.0 + ((t * (k + 2)) % 5) as f64).collect()))
+        .map(|k| {
+            TimeSeries::from_samples(
+                0,
+                (0..n).map(|t| 40.0 + ((t * (k + 2)) % 5) as f64).collect(),
+            )
+        })
         .collect();
     let cpu: Vec<f64> = (0..n)
         .map(|t| 30.0 + ((t * 3) % 7) as f64 + if t >= jump_at { 45.0 } else { 0.0 })
         .collect();
     metrics[MetricKind::Cpu.index()] = TimeSeries::from_samples(0, cpu);
-    ComponentCase { id: ComponentId(id), name: format!("c{id}"), metrics }
+    ComponentCase {
+        id: ComponentId(id),
+        name: format!("c{id}"),
+        metrics,
+    }
 }
 
 fn main() {
@@ -20,7 +29,10 @@ fn main() {
         let f = analyze_component(&component(id, jump), 1150, 100, &FChainConfig::default());
         println!("C{id} jump={jump}: changes:");
         for ch in &f.changes {
-            println!("  {} cp={} onset={} err={:.2} exp={:.2}", ch.metric, ch.change_at, ch.onset, ch.prediction_error, ch.expected_error);
+            println!(
+                "  {} cp={} onset={} err={:.2} exp={:.2}",
+                ch.metric, ch.change_at, ch.onset, ch.prediction_error, ch.expected_error
+            );
         }
     }
 }

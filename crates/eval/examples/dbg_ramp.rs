@@ -9,7 +9,11 @@ fn main() {
     let cpu: Vec<f64> = (0..n)
         .map(|t| {
             let base = 30.0 + 4.0 * ((t % 12) as f64 / 12.0) + ((t * 7) % 3) as f64;
-            if t >= 1080 { base + (t - 1080) as f64 * 0.9 } else { base }
+            if t >= 1080 {
+                base + (t - 1080) as f64 * 0.9
+            } else {
+                base
+            }
         })
         .collect();
     let cfg = FChainConfig::default();
@@ -21,23 +25,48 @@ fn main() {
     let sm = smooth::moving_average(&hist[ws..], cfg.smoothing_half);
     let det = CusumDetector::new(cfg.cusum.clone());
     let cps = det.detect(&sm);
-    println!("cps: {:?}", cps.iter().map(|c| (c.index, (c.magnitude*10.0).round()/10.0)).collect::<Vec<_>>());
+    println!(
+        "cps: {:?}",
+        cps.iter()
+            .map(|c| (c.index, (c.magnitude * 10.0).round() / 10.0))
+            .collect::<Vec<_>>()
+    );
     let outl = magnitude_outliers(&cps, &sm, &cfg.outlier);
-    println!("outliers: {:?}", outl.iter().map(|c| c.index).collect::<Vec<_>>());
-    let p90 = stats::percentile(&errors[60..hist.len()-w], 90.0).unwrap();
-    let p99 = stats::percentile(&errors[60..hist.len()-w], 99.0).unwrap();
-    let floor = (2.5*p90).max(1.8*p99);
+    println!(
+        "outliers: {:?}",
+        outl.iter().map(|c| c.index).collect::<Vec<_>>()
+    );
+    let p90 = stats::percentile(&errors[60..hist.len() - w], 90.0).unwrap();
+    let p99 = stats::percentile(&errors[60..hist.len() - w], 99.0).unwrap();
+    let floor = (2.5 * p90).max(1.8 * p99);
     println!("floor={floor:.2} (p90={p90:.2} p99={p99:.2})");
     for cp in &outl {
         let abs = ws + cp.index;
-        let real = errors[abs.saturating_sub(2)..=(abs+5).min(errors.len()-1)].iter().copied().fold(0.0, f64::max);
+        let real = errors[abs.saturating_sub(2)..=(abs + 5).min(errors.len() - 1)]
+            .iter()
+            .copied()
+            .fold(0.0, f64::max);
         let lo = abs.saturating_sub(44);
         let hi = abs.saturating_sub(5).max(lo);
         let exp = 3.0 * fft::burst_magnitude(&hist[lo..=hi], 0.9, 90.0);
-        let sus_hi = (abs+6).min(errors.len()-1);
-        let sus = errors[abs..=sus_hi].iter().sum::<f64>()/ (sus_hi-abs+1) as f64;
-        println!("cp {} abs {}: real={real:.2} exp={exp:.2} sus={sus:.2} -> {}", cp.index, abs,
-            if real > exp.max(floor) && sus > 0.4*exp.max(floor) {"ABNORMAL"} else {"filtered"});
+        let sus_hi = (abs + 6).min(errors.len() - 1);
+        let sus = errors[abs..=sus_hi].iter().sum::<f64>() / (sus_hi - abs + 1) as f64;
+        println!(
+            "cp {} abs {}: real={real:.2} exp={exp:.2} sus={sus:.2} -> {}",
+            cp.index,
+            abs,
+            if real > exp.max(floor) && sus > 0.4 * exp.max(floor) {
+                "ABNORMAL"
+            } else {
+                "filtered"
+            }
+        );
     }
-    println!("errors around ramp: {:?}", errors[1080..1110].iter().map(|e| (e*10.0).round()/10.0).collect::<Vec<f64>>());
+    println!(
+        "errors around ramp: {:?}",
+        errors[1080..1110]
+            .iter()
+            .map(|e| (e * 10.0).round() / 10.0)
+            .collect::<Vec<f64>>()
+    );
 }

@@ -1,7 +1,9 @@
 use fchain_metrics::{ComponentId, MetricKind};
 use fchain_sim::{AppKind, FaultKind, RunConfig, RunRecord, Simulator};
 fn main() {
-    let run = Simulator::new(RunConfig::new(AppKind::Rubis, FaultKind::CpuHog, 3).with_duration(900)).run();
+    let run =
+        Simulator::new(RunConfig::new(AppKind::Rubis, FaultKind::CpuHog, 3).with_duration(900))
+            .run();
     let json = serde_json::to_string(&run).unwrap();
     let back: RunRecord = serde_json::from_str(&json).unwrap();
     let a = run.metric(ComponentId(3), MetricKind::Cpu).values();
@@ -9,7 +11,12 @@ fn main() {
     println!("len {} vs {}", a.len(), b.len());
     let mut diffs = 0;
     for i in 0..a.len().min(b.len()) {
-        if a[i] != b[i] { if diffs == 0 { println!("first diff at {i}: {:?} vs {:?}", a[i], b[i]); } diffs += 1; }
+        if a[i] != b[i] {
+            if diffs == 0 {
+                println!("first diff at {i}: {:?} vs {:?}", a[i], b[i]);
+            }
+            diffs += 1;
+        }
     }
     println!("diffs: {diffs}");
 }

@@ -8,8 +8,16 @@ fn main() {
     let mut faulty = 0;
     let mut none = 0;
     for seed in 0..10u64 {
-        let run = Simulator::new(RunConfig::new(AppKind::Rubis, FaultKind::WorkloadSurge, seed)).run();
-        let Some(case) = case_from_run(&run, 100) else { println!("seed {seed}: no violation"); continue };
+        let run = Simulator::new(RunConfig::new(
+            AppKind::Rubis,
+            FaultKind::WorkloadSurge,
+            seed,
+        ))
+        .run();
+        let Some(case) = case_from_run(&run, 100) else {
+            println!("seed {seed}: no violation");
+            continue;
+        };
         let report = FChain::default().diagnose(&case);
         match report.verdict {
             Verdict::ExternalFactor(_) => external += 1,

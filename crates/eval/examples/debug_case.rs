@@ -24,18 +24,36 @@ fn main() {
         _ => FaultKind::CpuHog,
     };
     let seed: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(42);
-    let lookback: u64 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(
-        if fault.is_slow_manifesting() { 500 } else { 100 });
+    let lookback: u64 =
+        args.get(4)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(if fault.is_slow_manifesting() {
+                500
+            } else {
+                100
+            });
 
     let run = Simulator::new(RunConfig::new(app, fault, seed).with_duration(3600)).run();
     let t_v = run.violation_at.expect("no violation");
-    println!("fault={:?} targets={:?} t_f={} t_v={} (gap {})",
-        run.fault.kind, run.fault.targets, run.fault.start, t_v, t_v - run.fault.start);
+    println!(
+        "fault={:?} targets={:?} t_f={} t_v={} (gap {})",
+        run.fault.kind,
+        run.fault.targets,
+        run.fault.start,
+        t_v,
+        t_v - run.fault.start
+    );
     let case = case_from_run(&run, lookback).unwrap();
-    println!("discovered deps: {} edges", case.discovered_deps.as_ref().unwrap().edge_count());
+    println!(
+        "discovered deps: {} edges",
+        case.discovered_deps.as_ref().unwrap().edge_count()
+    );
     let fchain = FChain::default();
     let report = fchain.diagnose(&case);
-    println!("verdict={:?} pinpointed={:?}", report.verdict, report.pinpointed);
+    println!(
+        "verdict={:?} pinpointed={:?}",
+        report.verdict, report.pinpointed
+    );
     for f in &report.findings {
         let name = &run.model.components[f.id.index()].name;
         if f.changes.is_empty() {
@@ -43,8 +61,15 @@ fn main() {
         } else {
             println!("  {} ({}): onset={:?}", f.id, name, f.onset());
             for ch in &f.changes {
-                println!("     {} change_at={} onset={} err={:.1} exp={:.1} dir={:?}",
-                    ch.metric, ch.change_at, ch.onset, ch.prediction_error, ch.expected_error, ch.direction);
+                println!(
+                    "     {} change_at={} onset={} err={:.1} exp={:.1} dir={:?}",
+                    ch.metric,
+                    ch.change_at,
+                    ch.onset,
+                    ch.prediction_error,
+                    ch.expected_error,
+                    ch.direction
+                );
             }
         }
     }
@@ -54,9 +79,12 @@ fn main() {
         let id = fchain_metrics::ComponentId(c);
         let cpu = run.metric(id, fchain_metrics::MetricKind::Cpu);
         let w = cpu.window(case.window_start(), t_v);
-        println!("  C{c} cpu window mean={:.1} std={:.1} pre-fault mean={:.1}",
-            stats::mean(w), stats::std_dev(w),
-            stats::mean(cpu.window(run.fault.start.saturating_sub(200), run.fault.start - 1)));
+        println!(
+            "  C{c} cpu window mean={:.1} std={:.1} pre-fault mean={:.1}",
+            stats::mean(w),
+            stats::std_dev(w),
+            stats::mean(cpu.window(run.fault.start.saturating_sub(200), run.fault.start - 1))
+        );
     }
     let _ = fchain.name();
 }

@@ -35,7 +35,12 @@ fn main() {
     let kind = MetricKind::ALL[metric_idx];
     let hist_ts = run.metric(ComponentId(comp), kind);
     let hist = hist_ts.window(0, t_v);
-    println!("t_f={} t_v={} hist_len={}", run.fault.start, t_v, hist.len());
+    println!(
+        "t_f={} t_v={} hist_len={}",
+        run.fault.start,
+        t_v,
+        hist.len()
+    );
 
     let mut learner = OnlineLearner::new(cfg.learner.clone());
     let errors = learner.train_errors(hist);
@@ -52,18 +57,32 @@ fn main() {
     let sm = smooth::moving_average(raw, cfg.smoothing_half);
     let det = CusumDetector::new(cfg.cusum.clone());
     let cps = det.detect(&sm);
-    println!("cusum cps: {:?}", cps.iter().map(|c| (c.index, (c.magnitude*10.0).round()/10.0, (c.confidence*100.0).round())).collect::<Vec<_>>());
+    println!(
+        "cusum cps: {:?}",
+        cps.iter()
+            .map(|c| (
+                c.index,
+                (c.magnitude * 10.0).round() / 10.0,
+                (c.confidence * 100.0).round()
+            ))
+            .collect::<Vec<_>>()
+    );
     let outl = magnitude_outliers(&cps, &sm, &cfg.outlier);
-    println!("outliers: {:?}", outl.iter().map(|c| c.index).collect::<Vec<_>>());
+    println!(
+        "outliers: {:?}",
+        outl.iter().map(|c| c.index).collect::<Vec<_>>()
+    );
     // Replicate the real selection thresholds.
     let q2 = 2 * cfg.burst_window as usize;
     let guard = cfg.smoothing_half + 2;
     let anchor = window_start + cps[0].index;
     let alo = anchor.saturating_sub(q2 + guard);
     let ahi = anchor.saturating_sub(1 + guard).max(alo);
-    let exp_anchor = cfg.burst_scale * fft::burst_magnitude(&hist[alo..=ahi.min(hist.len()-1)], 0.9, 90.0);
+    let exp_anchor =
+        cfg.burst_scale * fft::burst_magnitude(&hist[alo..=ahi.min(hist.len() - 1)], 0.9, 90.0);
     let head_end = (window_start + q2).min(hist.len() - 1);
-    let exp_head = cfg.burst_scale * fft::burst_magnitude(&hist[window_start..=head_end], 0.9, 90.0);
+    let exp_head =
+        cfg.burst_scale * fft::burst_magnitude(&hist[window_start..=head_end], 0.9, 90.0);
     println!("exp_anchor={exp_anchor:.1} (anchor abs {anchor}) exp_head={exp_head:.1}");
     for cp in &outl {
         let abs = window_start + cp.index;
@@ -73,12 +92,29 @@ fn main() {
         let qlo = abs.saturating_sub(20);
         let qhi = (abs + 20).min(n - 1);
         let exp = 2.0 * fft::burst_magnitude(&hist[qlo..=qhi], 0.9, 90.0);
-        println!("  cp idx {} (abs {}): real={:.2} exp_burst={:.2} floor={:.2} -> {}",
-            cp.index, abs, real, exp, floor, if real > exp.max(floor) {"ABNORMAL"} else {"filtered"});
+        println!(
+            "  cp idx {} (abs {}): real={:.2} exp_burst={:.2} floor={:.2} -> {}",
+            cp.index,
+            abs,
+            real,
+            exp,
+            floor,
+            if real > exp.max(floor) {
+                "ABNORMAL"
+            } else {
+                "filtered"
+            }
+        );
     }
     // context: show window values near the end
-    let tail: Vec<f64> = raw[raw.len().saturating_sub(20)..].iter().map(|v| (v*10.0).round()/10.0).collect();
+    let tail: Vec<f64> = raw[raw.len().saturating_sub(20)..]
+        .iter()
+        .map(|v| (v * 10.0).round() / 10.0)
+        .collect();
     println!("window tail: {:?}", tail);
-    let etail: Vec<f64> = errors[n-20..].iter().map(|v| (v*10.0).round()/10.0).collect();
+    let etail: Vec<f64> = errors[n - 20..]
+        .iter()
+        .map(|v| (v * 10.0).round() / 10.0)
+        .collect();
     println!("error tail: {:?}", etail);
 }

@@ -22,14 +22,27 @@ fn main() {
     let fchain = FChain::default();
     for (app, fault) in scenarios {
         let campaign = Campaign::new(app, fault, 42).with_runs(
-            std::env::var("FCHAIN_RUNS").ok().and_then(|v| v.parse().ok()).unwrap_or(10),
+            std::env::var("FCHAIN_RUNS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(10),
         );
-        let campaign = if fault.is_slow_manifesting() { campaign.with_lookback(500) } else { campaign };
+        let campaign = if fault.is_slow_manifesting() {
+            campaign.with_lookback(500)
+        } else {
+            campaign
+        };
         let results = campaign.evaluate(&[&fchain]);
-        print!("{}", render::campaign_block(&format!("{app}/{fault}"), &results));
+        print!(
+            "{}",
+            render::campaign_block(&format!("{app}/{fault}"), &results)
+        );
         // show a few outcomes
         for o in results[0].outcomes.iter().take(4) {
-            println!("   seed={} pin={:?} truth={:?}", o.seed, o.pinpointed, o.faulty);
+            println!(
+                "   seed={} pin={:?} truth={:?}",
+                o.seed, o.pinpointed, o.faulty
+            );
         }
     }
 }

@@ -67,7 +67,11 @@ impl Campaign {
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(3600);
-        let lookback = if fault.is_slow_manifesting() { 500 } else { 100 };
+        let lookback = if fault.is_slow_manifesting() {
+            500
+        } else {
+            100
+        };
         Campaign {
             app,
             fault,
@@ -125,9 +129,9 @@ impl Campaign {
             .unwrap_or(4)
             .min(self.runs.max(1));
 
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= self.runs {
                         break;
@@ -148,8 +152,7 @@ impl Campaign {
                     }
                 });
             }
-        })
-        .expect("campaign worker panicked");
+        });
 
         schemes
             .iter()
@@ -215,7 +218,7 @@ mod tests {
         let silent = &results[1];
         assert_eq!(silent.counts.recall(), 0.0);
         assert_eq!(silent.counts.precision(), 1.0); // vacuous
-        // Same cases for both schemes.
+                                                    // Same cases for both schemes.
         for (a, b) in db.outcomes.iter().zip(&silent.outcomes) {
             assert_eq!(a.seed, b.seed);
             assert_eq!(a.faulty, b.faulty);

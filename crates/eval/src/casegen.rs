@@ -40,9 +40,7 @@ pub fn case_from_run(run: &RunRecord, lookback: u64) -> Option<CaseData> {
             ComponentCase {
                 id,
                 name: spec.name.clone(),
-                metrics: (0..6)
-                    .map(|k| run.series[i][k].slice(0, t_v))
-                    .collect(),
+                metrics: (0..6).map(|k| run.series[i][k].slice(0, t_v)).collect(),
             }
         })
         .collect();

@@ -66,8 +66,22 @@ mod tests {
     #[test]
     fn block_formats_all_rows() {
         let rows = vec![
-            ("FChain".to_string(), Counts { tp: 10, fp: 0, fn_: 0 }),
-            ("PAL".to_string(), Counts { tp: 6, fp: 4, fn_: 4 }),
+            (
+                "FChain".to_string(),
+                Counts {
+                    tp: 10,
+                    fp: 0,
+                    fn_: 0,
+                },
+            ),
+            (
+                "PAL".to_string(),
+                Counts {
+                    tp: 6,
+                    fp: 4,
+                    fn_: 4,
+                },
+            ),
         ];
         let text = roc_block("test", &rows);
         assert!(text.contains("== test =="));
@@ -78,7 +92,11 @@ mod tests {
 
     #[test]
     fn pr_cell_format() {
-        let c = Counts { tp: 97, fp: 3, fn_: 0 };
+        let c = Counts {
+            tp: 97,
+            fp: 3,
+            fn_: 0,
+        };
         assert_eq!(pr_cell(&c), "P=0.97, R=1.00");
     }
 

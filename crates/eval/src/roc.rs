@@ -89,9 +89,9 @@ impl RocCurve {
 
     /// The point with the best F1 score, if any.
     pub fn best_f1(&self) -> Option<&RocPoint> {
-        self.points.iter().max_by(|a, b| {
-            f1(a).partial_cmp(&f1(b)).expect("finite f1")
-        })
+        self.points
+            .iter()
+            .max_by(|a, b| f1(a).partial_cmp(&f1(b)).expect("finite f1"))
     }
 
     /// Whether this curve dominates `other`: for every point of `other`
@@ -147,9 +147,9 @@ mod tests {
     #[test]
     fn best_f1_picks_the_balanced_point() {
         let curve = RocCurve::from_counts([
-            (0.1, counts(10, 90, 0)),  // P=0.1 R=1.0, F1≈0.18
-            (0.5, counts(8, 2, 2)),    // P=0.8 R=0.8, F1=0.8
-            (0.9, counts(2, 0, 8)),    // P=1.0 R=0.2, F1≈0.33
+            (0.1, counts(10, 90, 0)), // P=0.1 R=1.0, F1≈0.18
+            (0.5, counts(8, 2, 2)),   // P=0.8 R=0.8, F1=0.8
+            (0.9, counts(2, 0, 8)),   // P=1.0 R=0.2, F1≈0.33
         ]);
         assert_eq!(curve.best_f1().unwrap().parameter, 0.5);
     }

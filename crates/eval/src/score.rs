@@ -131,7 +131,14 @@ mod tests {
         let mut b = Counts::default();
         b.add_case(&[c(2)], &[c(3)]);
         a.merge(b);
-        assert_eq!(a, Counts { tp: 1, fp: 1, fn_: 1 });
+        assert_eq!(
+            a,
+            Counts {
+                tp: 1,
+                fp: 1,
+                fn_: 1
+            }
+        );
         assert_eq!(a.precision(), 0.5);
         assert_eq!(a.recall(), 0.5);
     }

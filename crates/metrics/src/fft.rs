@@ -104,12 +104,15 @@ impl Neg for Complex {
 
 /// In-place iterative radix-2 FFT.
 ///
+/// Twiddle factors come from a thread-local [`FftPlan`], so repeated
+/// transforms of the same size recompute no sin/cos.
+///
 /// # Panics
 ///
 /// Panics if `buf.len()` is not a power of two (use [`next_pow2`] /
 /// zero-padding first; [`burst_signal`] does this for you).
 pub fn fft_in_place(buf: &mut [Complex]) {
-    transform(buf, false);
+    with_thread_plan(|plan| plan.fft_in_place(buf));
 }
 
 /// In-place inverse FFT (includes the `1/N` normalization).
@@ -118,20 +121,39 @@ pub fn fft_in_place(buf: &mut [Complex]) {
 ///
 /// Panics if `buf.len()` is not a power of two.
 pub fn ifft_in_place(buf: &mut [Complex]) {
-    transform(buf, true);
-    let n = buf.len() as f64;
-    for z in buf.iter_mut() {
-        z.re /= n;
-        z.im /= n;
-    }
+    with_thread_plan(|plan| plan.ifft_in_place(buf));
 }
 
-fn transform(buf: &mut [Complex], inverse: bool) {
+/// Forward twiddle factors for an `n`-point transform, concatenated per
+/// butterfly stage (`len = 2, 4, ..., n`; stage `len` contributes the
+/// `len/2` powers of `e^(-2πi/len)`). The inverse transform conjugates
+/// these on the fly, which is numerically exact.
+fn forward_twiddles(n: usize) -> Vec<Complex> {
+    let mut tw = Vec::with_capacity(n.saturating_sub(1));
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::from_polar_unit(ang);
+        let mut w = Complex::from(1.0);
+        for _ in 0..len / 2 {
+            tw.push(w);
+            w = w * wlen;
+        }
+        len <<= 1;
+    }
+    tw
+}
+
+fn transform(buf: &mut [Complex], inverse: bool, twiddles: &[Complex]) {
     let n = buf.len();
-    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "FFT length must be a power of two, got {n}"
+    );
     if n <= 1 {
         return;
     }
+    debug_assert_eq!(twiddles.len(), n - 1, "twiddle table size mismatch");
     // Bit-reversal permutation.
     let bits = n.trailing_zeros();
     for i in 0..n {
@@ -141,25 +163,146 @@ fn transform(buf: &mut [Complex], inverse: bool) {
             buf.swap(i, j);
         }
     }
-    let sign = if inverse { 1.0 } else { -1.0 };
     let mut len = 2;
+    let mut stage = 0usize; // offset of this stage's twiddles
     while len <= n {
-        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
-        let wlen = Complex::from_polar_unit(ang);
+        let half = len / 2;
         let mut i = 0;
         while i < n {
-            let mut w = Complex::from(1.0);
-            for j in 0..len / 2 {
+            for j in 0..half {
+                let w = if inverse {
+                    twiddles[stage + j].conj()
+                } else {
+                    twiddles[stage + j]
+                };
                 let u = buf[i + j];
-                let v = buf[i + j + len / 2] * w;
+                let v = buf[i + j + half] * w;
                 buf[i + j] = u + v;
-                buf[i + j + len / 2] = u - v;
-                w = w * wlen;
+                buf[i + j + half] = u - v;
             }
             i += len;
         }
+        stage += half;
         len <<= 1;
     }
+}
+
+/// A reusable FFT workspace: a per-size twiddle-factor cache plus scratch
+/// buffers, so burst synthesis on the diagnosis hot path performs no
+/// allocation and no trigonometry after the first transform of each size.
+///
+/// The free functions ([`fft_in_place`], [`burst_magnitude`], ...) share a
+/// thread-local plan; hold an explicit plan when reuse across many calls
+/// on one thread should not contend on the thread-local.
+///
+/// # Examples
+///
+/// ```
+/// use fchain_metrics::fft::FftPlan;
+///
+/// let mut plan = FftPlan::new();
+/// let stable = vec![5.0; 64];
+/// assert!(plan.burst_magnitude(&stable, 0.9, 90.0) < 1e-9);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct FftPlan {
+    /// Forward twiddles keyed by transform size.
+    twiddles: std::collections::BTreeMap<usize, Vec<Complex>>,
+    /// Complex working buffer reused across transforms.
+    scratch: Vec<Complex>,
+    /// Real working buffer for burst-percentile extraction.
+    abs: Vec<f64>,
+}
+
+impl FftPlan {
+    /// An empty plan; twiddle tables are built on first use per size.
+    pub fn new() -> Self {
+        FftPlan::default()
+    }
+
+    fn twiddles_for(&mut self, n: usize) -> &[Complex] {
+        self.twiddles
+            .entry(n)
+            .or_insert_with(|| forward_twiddles(n))
+    }
+
+    /// See [`fft_in_place`].
+    pub fn fft_in_place(&mut self, buf: &mut [Complex]) {
+        let n = buf.len();
+        transform(buf, false, self.twiddles_for(n));
+    }
+
+    /// See [`ifft_in_place`].
+    pub fn ifft_in_place(&mut self, buf: &mut [Complex]) {
+        let n = buf.len();
+        transform(buf, true, self.twiddles_for(n));
+        let scale = n as f64;
+        for z in buf.iter_mut() {
+            z.re /= scale;
+            z.im /= scale;
+        }
+    }
+
+    /// See [`burst_signal`]; writes the burst signal into `out` (cleared
+    /// first) instead of allocating a fresh vector.
+    pub fn burst_signal_into(&mut self, xs: &[f64], high_fraction: f64, out: &mut Vec<f64>) {
+        assert!(
+            (0.0..=1.0).contains(&high_fraction),
+            "high_fraction must be in [0, 1], got {high_fraction}"
+        );
+        out.clear();
+        if xs.is_empty() {
+            return;
+        }
+        let n = next_pow2(xs.len());
+        let mut buf = std::mem::take(&mut self.scratch);
+        buf.clear();
+        buf.extend(xs.iter().map(|&x| Complex::from(x)));
+        // Pad with the final value rather than zero to avoid a synthetic
+        // step discontinuity at the padding boundary leaking into the
+        // spectrum.
+        let pad = *xs.last().expect("non-empty");
+        buf.resize(n, Complex::from(pad));
+        self.fft_in_place(&mut buf);
+
+        // Frequency of bin i (two-sided spectrum): min(i, n - i); ranges
+        // 0..n/2. Keep frequencies strictly above the cutoff; cutoff at
+        // (1 - high_fraction) of the frequency range.
+        let max_freq = n / 2;
+        let cutoff = ((1.0 - high_fraction) * max_freq as f64).floor() as usize;
+        for (i, z) in buf.iter_mut().enumerate() {
+            let freq = i.min(n - i);
+            if freq <= cutoff {
+                *z = Complex::ZERO;
+            }
+        }
+        self.ifft_in_place(&mut buf);
+        out.extend(buf.iter().take(xs.len()).map(|z| z.re));
+        self.scratch = buf;
+    }
+
+    /// See [`burst_magnitude`].
+    pub fn burst_magnitude(&mut self, xs: &[f64], high_fraction: f64, percentile: f64) -> f64 {
+        if xs.is_empty() {
+            return 0.0;
+        }
+        let mut abs = std::mem::take(&mut self.abs);
+        self.burst_signal_into(xs, high_fraction, &mut abs);
+        for b in abs.iter_mut() {
+            *b = b.abs();
+        }
+        abs.sort_by(|a, b| a.partial_cmp(b).expect("burst signal is finite"));
+        let result = crate::stats::percentile_sorted(&abs, percentile).unwrap_or(0.0);
+        self.abs = abs;
+        result
+    }
+}
+
+fn with_thread_plan<R>(f: impl FnOnce(&mut FftPlan) -> R) -> R {
+    thread_local! {
+        static PLAN: std::cell::RefCell<FftPlan> = std::cell::RefCell::new(FftPlan::new());
+    }
+    PLAN.with(|plan| f(&mut plan.borrow_mut()))
 }
 
 /// Smallest power of two `>= n` (and `>= 1`).
@@ -210,35 +353,9 @@ pub fn fft_real(xs: &[f64]) -> Vec<Complex> {
 /// assert_eq!(burst.len(), 64);
 /// ```
 pub fn burst_signal(xs: &[f64], high_fraction: f64) -> Vec<f64> {
-    assert!(
-        (0.0..=1.0).contains(&high_fraction),
-        "high_fraction must be in [0, 1], got {high_fraction}"
-    );
-    if xs.is_empty() {
-        return Vec::new();
-    }
-    let n = next_pow2(xs.len());
-    let mut buf: Vec<Complex> = xs.iter().map(|&x| Complex::from(x)).collect();
-    // Pad with the final value rather than zero to avoid a synthetic step
-    // discontinuity at the padding boundary leaking into the spectrum.
-    let pad = *xs.last().expect("non-empty");
-    buf.resize(n, Complex::from(pad));
-    fft_in_place(&mut buf);
-
-    // Frequency of bin i (two-sided spectrum): min(i, n - i); ranges 0..n/2.
-    let max_freq = n / 2;
-    // Keep frequencies strictly above the cutoff; cutoff at
-    // (1 - high_fraction) of the frequency range.
-    let cutoff = ((1.0 - high_fraction) * max_freq as f64).floor() as usize;
-    for (i, z) in buf.iter_mut().enumerate() {
-        let freq = i.min(n - i);
-        if freq <= cutoff {
-            *z = Complex::ZERO;
-        }
-    }
-    ifft_in_place(&mut buf);
-    buf.truncate(xs.len());
-    buf.into_iter().map(|z| z.re).collect()
+    let mut out = Vec::new();
+    with_thread_plan(|plan| plan.burst_signal_into(xs, high_fraction, &mut out));
+    out
 }
 
 /// The burst magnitude of a window: the `percentile`-th percentile of the
@@ -261,12 +378,7 @@ pub fn burst_signal(xs: &[f64], high_fraction: f64) -> Vec<f64> {
 /// assert!(burst_magnitude(&stable, 0.9, 90.0) < 1e-9);
 /// ```
 pub fn burst_magnitude(xs: &[f64], high_fraction: f64, percentile: f64) -> f64 {
-    if xs.is_empty() {
-        return 0.0;
-    }
-    let burst = burst_signal(xs, high_fraction);
-    let abs: Vec<f64> = burst.iter().map(|b| b.abs()).collect();
-    crate::stats::percentile(&abs, percentile).unwrap_or(0.0)
+    with_thread_plan(|plan| plan.burst_magnitude(xs, high_fraction, percentile))
 }
 
 #[cfg(test)]
@@ -355,7 +467,9 @@ mod tests {
         // The fastest representable tone alternates every sample; it sits at
         // the top of the spectrum and must survive the high-pass.
         let n = 64;
-        let xs: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let xs: Vec<f64> = (0..n)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let burst = burst_signal(&xs, 0.9);
         // Interior samples keep the alternating structure.
         for i in 8..n - 8 {

@@ -124,7 +124,9 @@ mod tests {
     #[test]
     fn smoothing_reduces_variance_of_noise() {
         // Alternating spikes: smoothing must shrink the spread.
-        let xs: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 0.0 } else { 10.0 }).collect();
+        let xs: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 10.0 })
+            .collect();
         let sm = moving_average(&xs, 2);
         let raw_var = crate::stats::variance(&xs);
         let sm_var = crate::stats::variance(&sm);

@@ -81,15 +81,41 @@ pub fn max(xs: &[f64]) -> Option<f64> {
 /// assert_eq!(fchain_metrics::stats::percentile(&xs, 100.0), Some(4.0));
 /// ```
 pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
-    assert!(
-        p.is_finite() && (0.0..=100.0).contains(&p),
-        "percentile must be within [0, 100]"
-    );
     if xs.is_empty() {
+        // Validate `p` even on the empty path so misuse panics consistently.
+        assert!(
+            p.is_finite() && (0.0..=100.0).contains(&p),
+            "percentile must be within [0, 100]"
+        );
         return None;
     }
     let mut sorted: Vec<f64> = xs.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample in percentile"));
+    percentile_sorted(&sorted, p)
+}
+
+/// [`percentile`] over an already ascending-sorted slice: no allocation, no
+/// re-sort. Callers that hold a reusable sorted buffer (the FFT burst
+/// workspace) use this on the hot path.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]` or not finite.
+///
+/// # Examples
+///
+/// ```
+/// let xs = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(fchain_metrics::stats::percentile_sorted(&xs, 50.0), Some(2.5));
+/// ```
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> Option<f64> {
+    assert!(
+        p.is_finite() && (0.0..=100.0).contains(&p),
+        "percentile must be within [0, 100]"
+    );
+    if sorted.is_empty() {
+        return None;
+    }
     if sorted.len() == 1 {
         return Some(sorted[0]);
     }
@@ -150,7 +176,11 @@ impl Histogram {
     pub fn from_samples(xs: &[f64], bins: usize) -> Self {
         let lo = min(xs).unwrap_or(0.0);
         let hi = max(xs).unwrap_or(1.0);
-        let (lo, hi) = if hi > lo { (lo, hi) } else { (lo - 0.5, lo + 0.5) };
+        let (lo, hi) = if hi > lo {
+            (lo, hi)
+        } else {
+            (lo - 0.5, lo + 0.5)
+        };
         let mut h = Histogram::new(lo, hi, bins);
         for &x in xs {
             h.add(x);

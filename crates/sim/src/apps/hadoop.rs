@@ -47,7 +47,10 @@ mod tests {
         let m = hadoop();
         assert_eq!(m.len(), 9);
         assert_eq!(
-            m.components.iter().filter(|c| c.role == Role::MapNode).count(),
+            m.components
+                .iter()
+                .filter(|c| c.role == Role::MapNode)
+                .count(),
             3
         );
         assert_eq!(

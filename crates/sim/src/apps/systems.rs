@@ -88,7 +88,13 @@ mod tests {
     #[test]
     fn dag_has_source_and_sink() {
         let m = systems();
-        assert!(m.dataflow.dependents_of(pe(1)).is_empty(), "PE1 is the source");
-        assert!(m.dataflow.dependencies_of(pe(7)).is_empty(), "PE7 is the sink");
+        assert!(
+            m.dataflow.dependents_of(pe(1)).is_empty(),
+            "PE1 is the source"
+        );
+        assert!(
+            m.dataflow.dependencies_of(pe(7)).is_empty(),
+            "PE7 is the sink"
+        );
     }
 }

@@ -96,11 +96,17 @@ impl Simulator {
         };
         let dn_delay: Vec<u64> = edges
             .iter()
-            .map(|_| (rng.gen_range(model.downstream_delay.0..=model.downstream_delay.1) / delay_div).max(1))
+            .map(|_| {
+                (rng.gen_range(model.downstream_delay.0..=model.downstream_delay.1) / delay_div)
+                    .max(1)
+            })
             .collect();
         let bp_delay: Vec<u64> = edges
             .iter()
-            .map(|_| (rng.gen_range(model.backpressure_delay.0..=model.backpressure_delay.1) / delay_div).max(1))
+            .map(|_| {
+                (rng.gen_range(model.backpressure_delay.0..=model.backpressure_delay.1) / delay_div)
+                    .max(1)
+            })
             .collect();
         let comp_lag: Vec<u64> = (0..n).map(|_| rng.gen_range(0..3)).collect();
         let osc_phase: Vec<f64> = (0..n)
@@ -113,9 +119,7 @@ impl Simulator {
             )),
             None => match cfg.app {
                 AppKind::Rubis => Box::new(WebTrace::nasa_like(cfg.seed ^ 0xA11CE, duration)),
-                AppKind::SystemS => {
-                    Box::new(WebTrace::clarknet_like(cfg.seed ^ 0xA11CE, duration))
-                }
+                AppKind::SystemS => Box::new(WebTrace::clarknet_like(cfg.seed ^ 0xA11CE, duration)),
                 AppKind::Hadoop => Box::new(HadoopPhases::new(duration)),
             },
         };
@@ -242,15 +246,16 @@ impl Simulator {
                     let k = kind.index();
                     // Normal behavior: base + load + noise + burst.
                     let gauss: f64 = (0..4).map(|_| rng.gen::<f64>() - 0.5).sum::<f64>() / 2.0;
-                    let mut v =
-                        profile.base[k] + profile.load_gain[k] * activity + profile.noise[k] * gauss * 3.0;
+                    let mut v = profile.base[k]
+                        + profile.load_gain[k] * activity
+                        + profile.noise[k] * gauss * 3.0;
                     // Normal bursts ramp up and drain over ~3 ticks so the
                     // online model can learn them (isolated discontinuities
                     // would be indistinguishable from faults).
                     let (len, age, peak) = bursts[c][k];
                     if len == 0 && rng.gen::<f64>() < profile.burstiness[k] {
                         bursts[c][k] = (
-                            6 + rng.gen_range(0..6),
+                            6 + rng.gen_range(0u32..6),
                             0,
                             profile.burst_amp[k] * profile.load_gain[k] * rng.gen_range(0.85..1.15),
                         );
@@ -324,12 +329,19 @@ impl Simulator {
             let edge_tp: Vec<f64> = edges
                 .iter()
                 .map(|&(a, b)| {
-                    let lvl = total_level[a.index()][t as usize]
-                        .max(total_level[b.index()][t as usize]);
+                    let lvl =
+                        total_level[a.index()][t as usize].max(total_level[b.index()][t as usize]);
                     1.0 - 0.7 * lvl
                 })
                 .collect();
-            netsim::emit_tick(&model, t, workload.intensity(t), &edge_tp, &mut rng, &mut packets);
+            netsim::emit_tick(
+                &model,
+                t,
+                workload.intensity(t),
+                &edge_tp,
+                &mut rng,
+                &mut packets,
+            );
         }
 
         let oracle = ScalingOracle::new(&fault, cfg.seed, cfg.validation_error_prob);
@@ -358,9 +370,7 @@ fn affected_transform(kind: MetricKind, normal: f64, level: f64, t: Tick, phase:
         // what fools magnitude-ranking schemes (§III.B) while FChain's
         // onset ordering stays immune.
         MetricKind::Memory => normal + level * 380.0,
-        MetricKind::NetIn | MetricKind::NetOut => {
-            normal * (1.0 - 0.55 * level * (0.8 + 0.3 * osc))
-        }
+        MetricKind::NetIn | MetricKind::NetOut => normal * (1.0 - 0.55 * level * (0.8 + 0.3 * osc)),
         MetricKind::DiskRead | MetricKind::DiskWrite => normal * (1.0 - 0.2 * level),
     }
 }
@@ -395,7 +405,11 @@ mod tests {
             let r = run(AppKind::Rubis, FaultKind::CpuHog, seed);
             let t_v = r.violation_at.expect("cpuhog must violate");
             assert!(t_v >= r.fault.start);
-            assert!(t_v - r.fault.start < 30, "t_v-t_f = {}", t_v - r.fault.start);
+            assert!(
+                t_v - r.fault.start < 30,
+                "t_v-t_f = {}",
+                t_v - r.fault.start
+            );
         }
     }
 
@@ -429,7 +443,10 @@ mod tests {
         let mem = r.metric(db, MetricKind::Memory);
         let before = stats::mean(mem.window(t_f - 100, t_f - 1));
         let after = stats::mean(mem.window(t_f + 60, t_f + 80));
-        assert!(after > before + 500.0, "leak not visible: {before} -> {after}");
+        assert!(
+            after > before + 500.0,
+            "leak not visible: {before} -> {after}"
+        );
     }
 
     #[test]
@@ -473,7 +490,10 @@ mod tests {
             app_lift += lift(r.metric(ComponentId(1), MetricKind::Cpu));
             web_lift += lift(r.metric(ComponentId(0), MetricKind::Cpu));
         }
-        assert!(app_lift > web_lift, "attenuation violated: app {app_lift} web {web_lift}");
+        assert!(
+            app_lift > web_lift,
+            "attenuation violated: app {app_lift} web {web_lift}"
+        );
     }
 
     #[test]
@@ -529,7 +549,10 @@ mod tests {
         .run();
         let t_f = quiet.fault.start.min(noisy.fault.start);
         let cpu_mean = |r: &RunRecord| {
-            stats::mean(r.metric(ComponentId(0), MetricKind::Cpu).window(100, t_f - 1))
+            stats::mean(
+                r.metric(ComponentId(0), MetricKind::Cpu)
+                    .window(100, t_f - 1),
+            )
         };
         assert!(
             cpu_mean(&noisy) > cpu_mean(&quiet) + 1.0,
@@ -555,7 +578,10 @@ mod tests {
         .run();
         let t_f = synth.fault.start.min(flat.fault.start);
         let spread = |r: &RunRecord| {
-            stats::std_dev(r.metric(ComponentId(0), MetricKind::NetIn).window(100, t_f - 1))
+            stats::std_dev(
+                r.metric(ComponentId(0), MetricKind::NetIn)
+                    .window(100, t_f - 1),
+            )
         };
         assert!(
             spread(&flat) < spread(&synth),
@@ -571,7 +597,10 @@ mod tests {
             RunConfig::new(AppKind::Rubis, FaultKind::WorkloadSurge, 4).with_duration(1800),
         )
         .run();
-        assert!(r.fault.targets.is_empty(), "a surge has no faulty component");
+        assert!(
+            r.fault.targets.is_empty(),
+            "a surge has no faulty component"
+        );
         let t_f = r.fault.start;
         let t_v = r.violation_at.expect("the surge must violate the SLO");
         assert!(t_v >= t_f);
@@ -597,7 +626,11 @@ mod tests {
             .iter()
             .filter(|p| p.tick >= t_f.saturating_sub(300) && p.tick < t_f)
             .count();
-        let after = r.packets.iter().filter(|p| p.tick >= t_f && p.tick < t_f + 300).count();
+        let after = r
+            .packets
+            .iter()
+            .filter(|p| p.tick >= t_f && p.tick < t_f + 300)
+            .count();
         assert!(
             (after as f64) < before as f64 * 0.9,
             "traffic did not drop: {before} -> {after}"

@@ -257,10 +257,7 @@ impl FaultKind {
             (AppKind::Rubis, FaultKind::OffloadBug | FaultKind::LbBug) => {
                 vec![model.component_named("app1"), model.component_named("app2")]
             }
-            (
-                AppKind::SystemS,
-                FaultKind::MemLeak | FaultKind::CpuHog | FaultKind::Bottleneck,
-            ) => {
+            (AppKind::SystemS, FaultKind::MemLeak | FaultKind::CpuHog | FaultKind::Bottleneck) => {
                 // Any PE except the sink (a faulty sink has nothing
                 // downstream and trivializes propagation); PE1..PE6.
                 let idx = rng.gen_range(0..6u32);
@@ -456,7 +453,9 @@ mod tests {
             vec![rubis.component_named("web")]
         );
         assert_eq!(
-            FaultKind::OffloadBug.resolve_targets(&rubis, &mut rng).len(),
+            FaultKind::OffloadBug
+                .resolve_targets(&rubis, &mut rng)
+                .len(),
             2
         );
         let hadoop = apps::hadoop();

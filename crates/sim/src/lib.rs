@@ -60,4 +60,4 @@ pub use profile::MetricProfile;
 pub use run::{RunConfig, RunRecord, ScalingOracle};
 pub use slo::{SloSpec, SloStatus};
 pub use topology::{AppKind, AppModel, ComponentSpec, Role};
-pub use workload::{HadoopPhases, ReplayTrace, ReplayParseError, WebTrace, Workload};
+pub use workload::{HadoopPhases, ReplayParseError, ReplayTrace, WebTrace, Workload};

@@ -34,7 +34,7 @@ pub fn emit_tick(
             if tp > 0.02 {
                 let n = 1 + (activity * 2.0 * tp) as u32;
                 for _ in 0..n {
-                    out.push(Packet::new(t, src, dst, 256 + rng.gen_range(0..512)));
+                    out.push(Packet::new(t, src, dst, 256 + rng.gen_range(0u32..512)));
                 }
             }
         } else {
@@ -45,7 +45,7 @@ pub fn emit_tick(
             if rng.gen::<f64>() < p_active {
                 let n = 1 + rng.gen_range(0..3);
                 for _ in 0..n {
-                    out.push(Packet::new(t, src, dst, 200 + rng.gen_range(0..1400)));
+                    out.push(Packet::new(t, src, dst, 200 + rng.gen_range(0u32..1400)));
                 }
             }
         }

@@ -109,7 +109,10 @@ impl RunConfig {
     ///
     /// Panics on an empty series.
     pub fn with_workload_replay(mut self, intensities: Vec<f64>) -> Self {
-        assert!(!intensities.is_empty(), "replayed workload must be non-empty");
+        assert!(
+            !intensities.is_empty(),
+            "replayed workload must be non-empty"
+        );
         self.workload_replay = Some(intensities);
         self
     }

@@ -358,7 +358,9 @@ mod tests {
     fn different_seeds_differ() {
         let a = WebTrace::nasa_like(1, 500);
         let b = WebTrace::nasa_like(2, 500);
-        let same = (0..500).filter(|&t| a.intensity(t) == b.intensity(t)).count();
+        let same = (0..500)
+            .filter(|&t| a.intensity(t) == b.intensity(t))
+            .count();
         assert!(same < 50, "seeds produced nearly identical traces");
     }
 
@@ -368,10 +370,7 @@ mod tests {
         let xs: Vec<f64> = (0..3600).map(|t| w.intensity(t)).collect();
         assert!(stats::std_dev(&xs) > 0.05, "trace too flat");
         // AR(1) correlation: adjacent samples are closer than distant ones.
-        let adjacent: f64 = (1..3600)
-            .map(|i| (xs[i] - xs[i - 1]).abs())
-            .sum::<f64>()
-            / 3599.0;
+        let adjacent: f64 = (1..3600).map(|i| (xs[i] - xs[i - 1]).abs()).sum::<f64>() / 3599.0;
         let distant: f64 = (300..3600)
             .map(|i| (xs[i] - xs[i - 300]).abs())
             .sum::<f64>()

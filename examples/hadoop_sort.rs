@@ -46,15 +46,27 @@ fn main() {
     // ...while W = 500 covers the manifestation.
     let long = case_from_run(&run, 500).expect("case");
     let long_report = fchain.diagnose(&long);
-    println!("W=500: window [{}, {t_v}] -> pinpointed {:?}", long.window_start(), long_report.pinpointed);
+    println!(
+        "W=500: window [{}, {t_v}] -> pinpointed {:?}",
+        long.window_start(),
+        long_report.pinpointed
+    );
     println!("\nabnormal change chain at W=500:");
     for (c, onset) in long_report.propagation_chain() {
         let name = &run.model.components[c.index()].name;
-        let mark = if run.fault.targets.contains(&c) { "  <- faulty map" } else { "" };
+        let mark = if run.fault.targets.contains(&c) {
+            "  <- faulty map"
+        } else {
+            ""
+        };
         println!("  t={onset:>5}  {name}{mark}");
     }
     let maps: Vec<ComponentId> = (0..3).map(ComponentId).collect();
-    let hits = long_report.pinpointed.iter().filter(|c| maps.contains(c)).count();
+    let hits = long_report
+        .pinpointed
+        .iter()
+        .filter(|c| maps.contains(c))
+        .count();
     println!("\n{hits}/3 faulty map nodes pinpointed at W=500");
     assert!(hits >= 2, "the long window should recover most of the maps");
 }

@@ -19,20 +19,30 @@ fn main() {
     let t_v = run.violation_at.expect("memory leak violates the SLO");
     let t_f = run.fault.start;
     println!("== run ==");
-    println!("fault: {} at db, injected t={t_f}; SLO violated t={t_v} (after {}s)", run.fault.kind, t_v - t_f);
+    println!(
+        "fault: {} at db, injected t={t_f}; SLO violated t={t_v} (after {}s)",
+        run.fault.kind,
+        t_v - t_f
+    );
 
     // The observable the operator sees: mean response time.
     println!("\nresponse time around the fault (ms):");
     for t in (t_f.saturating_sub(20)..=t_v).step_by(10) {
         let v = run.slo.at(t).unwrap_or(0.0);
-        println!("  t={t:>5}  {v:>7.1} {}", if v > 100.0 { "** violation" } else { "" });
+        println!(
+            "  t={t:>5}  {v:>7.1} {}",
+            if v > 100.0 { "** violation" } else { "" }
+        );
     }
 
     // The leak itself, on the culprit's memory metric.
     let db = ComponentId(3);
     println!("\ndb memory (MB):");
     for t in (t_f.saturating_sub(20)..=t_v).step_by(10) {
-        println!("  t={t:>5}  {:>8.0}", run.metric(db, MetricKind::Memory).at(t).unwrap_or(0.0));
+        println!(
+            "  t={t:>5}  {:>8.0}",
+            run.metric(db, MetricKind::Memory).at(t).unwrap_or(0.0)
+        );
     }
 
     // Diagnose.
@@ -49,7 +59,11 @@ fn main() {
     println!("abnormal change chain (onset-sorted):");
     for (c, onset) in report.propagation_chain() {
         let name = &run.model.components[c.index()].name;
-        let mark = if run.fault.targets.contains(&c) { " <- true culprit" } else { "" };
+        let mark = if run.fault.targets.contains(&c) {
+            " <- true culprit"
+        } else {
+            ""
+        };
         println!("  t={onset:>5}  {name}{mark}");
     }
     println!("pinpointed: {:?}", report.pinpointed);
@@ -65,5 +79,8 @@ fn main() {
         probe.observations(),
         probe.cost_secs()
     );
-    assert_eq!(validated.pinpointed, run.fault.targets, "validated pinpointing must match ground truth");
+    assert_eq!(
+        validated.pinpointed, run.fault.targets,
+        "validated pinpointing must match ground truth"
+    );
 }

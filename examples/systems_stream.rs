@@ -42,7 +42,10 @@ fn main() {
         discovered.edge_count(),
         run.model.dataflow.edge_count()
     );
-    assert!(discovered.is_empty(), "stream traffic must defeat discovery");
+    assert!(
+        discovered.is_empty(),
+        "stream traffic must defeat discovery"
+    );
     println!("-> the Dependency baseline is blind here; FChain is not:");
 
     let case = case_from_run(&run, 100).expect("case");

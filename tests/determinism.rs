@@ -1,0 +1,86 @@
+//! Parallel/sequential parity: the sharded, multi-threaded diagnosis path
+//! (parallel `SlaveDaemon::analyze_all` + parallel master collection) must
+//! produce bit-identical reports to the single-threaded reference for the
+//! same seeded campaign cases.
+
+use fchain::core::master::Master;
+use fchain::core::slave::{MetricSample, SlaveDaemon};
+use fchain::core::FChainConfig;
+use fchain::eval::case_from_run;
+use fchain::metrics::MetricKind;
+use fchain::sim::{AppKind, FaultKind, RunConfig, Simulator};
+use std::sync::Arc;
+
+/// Simulates one seeded run, streams every component's metrics into
+/// per-host slave daemons (two hosts, components split round-robin, so the
+/// master-level fan-out is exercised too), and returns the wired master
+/// plus the violation tick.
+fn master_from_seeded_run(app: AppKind, fault: FaultKind, seed: u64) -> Option<(Master, u64)> {
+    let run = Simulator::new(RunConfig::new(app, fault, seed)).run();
+    let case = case_from_run(&run, 100)?;
+    let hosts: Vec<Arc<SlaveDaemon>> = (0..2)
+        .map(|_| Arc::new(SlaveDaemon::new(FChainConfig::default())))
+        .collect();
+    for (i, component) in case.components.iter().enumerate() {
+        let host = &hosts[i % hosts.len()];
+        for kind in MetricKind::ALL {
+            for (tick, value) in component.metric(kind).iter() {
+                host.ingest(MetricSample {
+                    tick,
+                    component: component.id,
+                    kind,
+                    value,
+                });
+            }
+        }
+    }
+    let mut master = Master::new(FChainConfig::default());
+    for host in hosts {
+        master.register_slave(host);
+    }
+    if let Some(deps) = case.discovered_deps.clone() {
+        master.set_dependencies(deps);
+    }
+    Some((master, case.violation_at))
+}
+
+fn assert_parity(app: AppKind, fault: FaultKind, seeds: &[u64]) {
+    let mut compared = 0;
+    for &seed in seeds {
+        let Some((master, violation_at)) = master_from_seeded_run(app, fault, seed) else {
+            continue;
+        };
+        let parallel = master.on_violation(violation_at);
+        let sequential = master.on_violation_sequential(violation_at);
+        assert_eq!(
+            parallel, sequential,
+            "{app:?}/{fault:?} seed {seed}: parallel and sequential reports diverge"
+        );
+        // Re-running the parallel path must also be stable with itself.
+        assert_eq!(parallel, master.on_violation(violation_at));
+        compared += 1;
+    }
+    assert!(
+        compared >= 3,
+        "{app:?}/{fault:?}: only {compared} seeded cases produced a violation"
+    );
+}
+
+#[test]
+fn rubis_reports_are_identical_across_paths() {
+    assert_parity(AppKind::Rubis, FaultKind::CpuHog, &[900, 901, 902, 903]);
+}
+
+#[test]
+fn hadoop_reports_are_identical_across_paths() {
+    assert_parity(
+        AppKind::Hadoop,
+        FaultKind::ConcurrentMemLeak,
+        &[40, 41, 42, 43],
+    );
+}
+
+#[test]
+fn systems_reports_are_identical_across_paths() {
+    assert_parity(AppKind::SystemS, FaultKind::MemLeak, &[500, 501, 502, 503]);
+}

@@ -11,7 +11,10 @@ fn diagnose(
     fault: FaultKind,
     seed: u64,
     lookback: u64,
-) -> (Vec<fchain::metrics::ComponentId>, Vec<fchain::metrics::ComponentId>) {
+) -> (
+    Vec<fchain::metrics::ComponentId>,
+    Vec<fchain::metrics::ComponentId>,
+) {
     let run = Simulator::new(RunConfig::new(app, fault, seed)).run();
     let case = case_from_run(&run, lookback).expect("SLO violation expected");
     let report = FChain::default().diagnose(&case);
@@ -48,8 +51,7 @@ fn rubis_memleak_back_pressure_does_not_fool_fchain() {
 fn systems_random_pe_faults_are_localized() {
     let mut hits = 0;
     for seed in 0..6 {
-        let (pinpointed, truth) =
-            diagnose(AppKind::SystemS, FaultKind::MemLeak, 500 + seed, 100);
+        let (pinpointed, truth) = diagnose(AppKind::SystemS, FaultKind::MemLeak, 500 + seed, 100);
         if pinpointed == truth {
             hits += 1;
         }
@@ -62,8 +64,12 @@ fn hadoop_concurrent_faults_mostly_recovered() {
     let mut tp = 0;
     let mut total = 0;
     for seed in 0..4 {
-        let (pinpointed, truth) =
-            diagnose(AppKind::Hadoop, FaultKind::ConcurrentMemLeak, 40 + seed, 100);
+        let (pinpointed, truth) = diagnose(
+            AppKind::Hadoop,
+            FaultKind::ConcurrentMemLeak,
+            40 + seed,
+            100,
+        );
         tp += pinpointed.iter().filter(|c| truth.contains(c)).count();
         total += truth.len();
     }
@@ -77,8 +83,7 @@ fn hadoop_concurrent_faults_mostly_recovered() {
 fn validation_never_removes_a_true_positive_under_clean_observations() {
     for seed in [11, 12, 13] {
         let run = Simulator::new(
-            RunConfig::new(AppKind::Rubis, FaultKind::CpuHog, seed)
-                .with_duration(1800),
+            RunConfig::new(AppKind::Rubis, FaultKind::CpuHog, seed).with_duration(1800),
         )
         .run();
         let case = case_from_run(&run, 100).expect("violation");
@@ -124,7 +129,10 @@ fn diagnosis_is_deterministic() {
     let case_a = case_from_run(&a, 100).expect("violation");
     let case_b = case_from_run(&b, 100).expect("violation");
     let fchain = FChain::default();
-    assert_eq!(fchain.diagnose(&case_a).pinpointed, fchain.diagnose(&case_b).pinpointed);
+    assert_eq!(
+        fchain.diagnose(&case_a).pinpointed,
+        fchain.diagnose(&case_b).pinpointed
+    );
 }
 
 #[test]

@@ -36,7 +36,9 @@ fn validation_raises_bottleneck_precision() {
     let plain = c.evaluate(&[&fchain]);
     let validated = c.evaluate_with(&[&fchain], |_s, case, run| {
         let mut probe = OracleProbe::new(&run.oracle);
-        FChain::default().diagnose_validated(case, &mut probe).pinpointed
+        FChain::default()
+            .diagnose_validated(case, &mut probe)
+            .pinpointed
     });
     let (p, v) = (plain[0].counts, validated[0].counts);
     assert!(
@@ -87,10 +89,10 @@ fn lookback_window_optimum_matches_the_paper() {
         long[0].counts
     );
     // DiskHog: W=500 recall strictly better than W=100.
-    let short = campaign(AppKind::Hadoop, FaultKind::ConcurrentDiskHog, 9100, 100)
-        .evaluate(&[&fchain]);
-    let long = campaign(AppKind::Hadoop, FaultKind::ConcurrentDiskHog, 9100, 500)
-        .evaluate(&[&fchain]);
+    let short =
+        campaign(AppKind::Hadoop, FaultKind::ConcurrentDiskHog, 9100, 100).evaluate(&[&fchain]);
+    let long =
+        campaign(AppKind::Hadoop, FaultKind::ConcurrentDiskHog, 9100, 500).evaluate(&[&fchain]);
     assert!(
         long[0].counts.recall() >= short[0].counts.recall(),
         "diskhog: W=500 {} should not lose recall to W=100 {}",

@@ -20,7 +20,9 @@ fn case_from_series(per_component: Vec<Vec<f64>>) -> CaseData {
                     .map(|k| {
                         TimeSeries::from_samples(
                             0,
-                            (0..len).map(|t| 10.0 + ((t * (k + 2)) % 4) as f64).collect(),
+                            (0..len)
+                                .map(|t| 10.0 + ((t * (k + 2)) % 4) as f64)
+                                .collect(),
                         )
                     })
                     .collect();
@@ -158,8 +160,7 @@ fn one_tick_clock_skew_does_not_change_the_diagnosis() {
 fn localize_never_reports_duplicates() {
     for seed in 0..6 {
         let run = Simulator::new(
-            RunConfig::new(AppKind::Hadoop, FaultKind::ConcurrentMemLeak, seed)
-                .with_duration(1800),
+            RunConfig::new(AppKind::Hadoop, FaultKind::ConcurrentMemLeak, seed).with_duration(1800),
         )
         .run();
         let Some(case) = fchain::eval::case_from_run(&run, 100) else {

@@ -14,7 +14,11 @@ fn campaign(app: AppKind, fault: FaultKind, seed: u64) -> Campaign {
         runs: 6,
         base_seed: seed,
         duration: 3600,
-        lookback: if fault.is_slow_manifesting() { 500 } else { 100 },
+        lookback: if fault.is_slow_manifesting() {
+            500
+        } else {
+            100
+        },
     }
 }
 
@@ -27,12 +31,7 @@ fn fchain_beats_topology_on_back_pressure_faults() {
     let topo = TopologyScheme::default();
     let results = c.evaluate(&[&fchain, &topo]);
     let (f, t) = (&results[0].counts, &results[1].counts);
-    assert!(
-        f.recall() > t.recall(),
-        "FChain {} vs Topology {}",
-        f,
-        t
-    );
+    assert!(f.recall() > t.recall(), "FChain {} vs Topology {}", f, t);
     assert!(f.precision() >= t.precision(), "FChain {f} vs Topology {t}");
 }
 

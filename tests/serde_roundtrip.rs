@@ -79,9 +79,23 @@ fn dependency_graph_roundtrips() {
 
 #[test]
 fn scores_and_curves_roundtrip() {
-    let counts = Counts { tp: 9, fp: 2, fn_: 1 };
+    let counts = Counts {
+        tp: 9,
+        fp: 2,
+        fn_: 1,
+    };
     assert_eq!(roundtrip(&counts), counts);
-    let curve = RocCurve::from_counts([(0.1, counts), (0.5, Counts { tp: 5, fp: 0, fn_: 5 })]);
+    let curve = RocCurve::from_counts([
+        (0.1, counts),
+        (
+            0.5,
+            Counts {
+                tp: 5,
+                fp: 0,
+                fn_: 5,
+            },
+        ),
+    ]);
     let back: RocCurve = roundtrip(&curve);
     assert_eq!(back, curve);
     assert!((back.auc() - curve.auc()).abs() < 1e-12);

@@ -12,10 +12,9 @@ use fchain::sim::{AppKind, FaultKind, RunConfig, Simulator};
 #[test]
 fn discovery_recovers_request_reply_topologies() {
     for app in [AppKind::Rubis, AppKind::Hadoop] {
-        let run = Simulator::new(
-            RunConfig::new(app, FaultKind::MemLeakFor(app), 1).with_duration(1800),
-        )
-        .run();
+        let run =
+            Simulator::new(RunConfig::new(app, FaultKind::MemLeakFor(app), 1).with_duration(1800))
+                .run();
         let normal: Vec<_> = run
             .packets
             .iter()
@@ -31,10 +30,9 @@ fn discovery_recovers_request_reply_topologies() {
 
 #[test]
 fn packet_traces_roundtrip_through_the_storage_format() {
-    let run = Simulator::new(
-        RunConfig::new(AppKind::Rubis, FaultKind::CpuHog, 2).with_duration(900),
-    )
-    .run();
+    let run =
+        Simulator::new(RunConfig::new(AppKind::Rubis, FaultKind::CpuHog, 2).with_duration(900))
+            .run();
     let bytes = encode_trace(&run.packets);
     let decoded = decode_trace(&bytes).expect("well-formed trace");
     assert_eq!(decoded, run.packets);
@@ -44,10 +42,9 @@ fn packet_traces_roundtrip_through_the_storage_format() {
 fn online_model_learns_simulated_normal_behavior() {
     // The premise of the whole system: the simulator's *normal* metric
     // behavior must be predictable by the online model.
-    let run = Simulator::new(
-        RunConfig::new(AppKind::Rubis, FaultKind::MemLeak, 3).with_duration(2400),
-    )
-    .run();
+    let run =
+        Simulator::new(RunConfig::new(AppKind::Rubis, FaultKind::MemLeak, 3).with_duration(2400))
+            .run();
     let t_f = run.fault.start;
     for c in 0..run.component_count() as u32 {
         let cpu = run.metric(ComponentId(c), MetricKind::Cpu);
@@ -66,10 +63,9 @@ fn online_model_learns_simulated_normal_behavior() {
 #[test]
 fn cusum_sees_the_fault_the_model_flags() {
     // Detection and prediction agree about where the action is.
-    let run = Simulator::new(
-        RunConfig::new(AppKind::Rubis, FaultKind::CpuHog, 4).with_duration(1800),
-    )
-    .run();
+    let run =
+        Simulator::new(RunConfig::new(AppKind::Rubis, FaultKind::CpuHog, 4).with_duration(1800))
+            .run();
     let t_v = run.violation_at.expect("violation");
     let t_f = run.fault.start;
     let cpu = run.metric(ComponentId(3), MetricKind::Cpu);
@@ -85,10 +81,9 @@ fn cusum_sees_the_fault_the_model_flags() {
 
 #[test]
 fn case_windows_agree_with_run_series() {
-    let run = Simulator::new(
-        RunConfig::new(AppKind::SystemS, FaultKind::CpuHog, 5).with_duration(1800),
-    )
-    .run();
+    let run =
+        Simulator::new(RunConfig::new(AppKind::SystemS, FaultKind::CpuHog, 5).with_duration(1800))
+            .run();
     let t_v = run.violation_at.expect("violation");
     let case = case_from_run(&run, 100).expect("case");
     for c in 0..run.component_count() as u32 {

@@ -1,0 +1,235 @@
+//! Offline-vendored minimal benchmark harness compatible with the subset
+//! of `criterion` this workspace uses: `Criterion::bench_function` +
+//! `Bencher::iter`, `criterion_group!`/`criterion_main!`, and `black_box`.
+//!
+//! Measurements are real wall-clock timings (warmup, calibration to a
+//! per-sample budget, then `sample_size` samples reported as
+//! min/median/max per iteration). Summaries are kept on the `Criterion`
+//! instance so custom `main`s can post-process them (e.g. JSON dumps).
+
+use std::time::{Duration, Instant};
+
+/// Re-exported so benches can `use criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// One finished benchmark's per-iteration timing summary.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Benchmark id as given to [`Criterion::bench_function`].
+    pub id: String,
+    /// Fastest sample, nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Median sample, nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Mean over samples, nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Slowest sample, nanoseconds per iteration.
+    pub max_ns: f64,
+    /// Iterations per sample the calibration settled on.
+    pub iters_per_sample: u64,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+/// Benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    summaries: Vec<Summary>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(500),
+            summaries: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warmup budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Command-line configuration is not supported; kept for API
+    /// compatibility.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one benchmark: `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`].
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+
+        // Warmup + calibration: grow the per-sample iteration count until
+        // one sample costs at least ~1/sample_size of the budget (so all
+        // samples together roughly fit the measurement budget).
+        let per_sample = self.measurement_time / self.sample_size as u32;
+        let warmup_start = Instant::now();
+        loop {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            if b.elapsed >= per_sample
+                || warmup_start.elapsed() >= self.warm_up_time
+                || b.iters >= 1 << 40
+            {
+                break;
+            }
+            // Aim directly at the per-sample budget instead of doubling
+            // blindly, with a 2x cap to stay robust against noise.
+            let scale = if b.elapsed.as_nanos() == 0 {
+                2.0
+            } else {
+                (per_sample.as_nanos() as f64 / b.elapsed.as_nanos() as f64).clamp(1.1, 2.0)
+            };
+            b.iters = ((b.iters as f64 * scale).ceil() as u64).max(b.iters + 1);
+        }
+
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            per_iter_ns.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
+        }
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        let min = per_iter_ns[0];
+        let max = *per_iter_ns.last().expect("sample_size >= 2");
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+        let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+
+        println!(
+            "{id:<44} time: [{} {} {}]",
+            format_ns(min),
+            format_ns(median),
+            format_ns(max)
+        );
+        self.summaries.push(Summary {
+            id: id.to_string(),
+            min_ns: min,
+            median_ns: median,
+            mean_ns: mean,
+            max_ns: max,
+            iters_per_sample: b.iters,
+            samples: per_iter_ns.len(),
+        });
+        self
+    }
+
+    /// Summaries of every benchmark run so far.
+    pub fn summaries(&self) -> &[Summary] {
+        &self.summaries
+    }
+
+    /// Prints nothing extra; kept for API compatibility.
+    pub fn final_summary(&self) {}
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+/// Times the routine under measurement.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` invocations of `routine`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Defines a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() -> $crate::Criterion {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+            c.final_summary();
+            c
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Defines the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(let _ = $group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(10));
+        c.bench_function("noop_sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        let s = &c.summaries()[0];
+        assert_eq!(s.id, "noop_sum");
+        assert!(s.median_ns > 0.0);
+    }
+}

@@ -1,0 +1,492 @@
+//! Minimal, offline-vendored replacement for the subset of `serde` this
+//! workspace uses.
+//!
+//! The public surface mirrors real serde closely enough that downstream
+//! crates keep writing `#[derive(Serialize, Deserialize)]` and bounds like
+//! `serde::Serialize + serde::de::DeserializeOwned`, but the data model is
+//! a single self-describing [`Content`] tree instead of the
+//! visitor/Serializer machinery. `serde_json` (also vendored) renders and
+//! parses that tree.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing value tree every type serializes into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null` (also used for `None` and non-finite floats).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Content>),
+    /// An ordered key/value map (keys are usually `Str`).
+    Map(Vec<(Content, Content)>),
+}
+
+impl Content {
+    /// The map entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(Content, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The sequence elements, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// An error with an arbitrary message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        DeError {
+            msg: msg.to_string(),
+        }
+    }
+
+    /// "expected X, found Y" helper.
+    pub fn expected(what: &str, found: &Content) -> Self {
+        let kind = match found {
+            Content::Null => "null",
+            Content::Bool(_) => "a boolean",
+            Content::U64(_) | Content::I64(_) => "an integer",
+            Content::F64(_) => "a number",
+            Content::Str(_) => "a string",
+            Content::Seq(_) => "a sequence",
+            Content::Map(_) => "a map",
+        };
+        DeError::custom(format!("expected {what}, found {kind}"))
+    }
+
+    /// Unknown enum variant helper.
+    pub fn unknown_variant(variant: &str, ty: &str) -> Self {
+        DeError::custom(format!("unknown variant `{variant}` for {ty}"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A type that can render itself into a [`Content`] tree.
+pub trait Serialize {
+    /// Serializes `self` into the content tree.
+    fn serialize(&self) -> Content;
+}
+
+/// A type that can be rebuilt from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Deserializes a value from the content tree.
+    fn deserialize(content: &Content) -> Result<Self, DeError>;
+}
+
+/// `serde::de` compatibility: `DeserializeOwned` is the usual bound for
+/// "deserialize from any borrowed input"; with the tree model every
+/// deserialize is owned, so it is a plain re-export.
+pub mod de {
+    pub use crate::DeError as Error;
+    pub use crate::Deserialize as DeserializeOwned;
+}
+
+/// `serde::ser` compatibility namespace.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+// ---------------------------------------------------------------------------
+// Derive-macro support helpers (not part of the public serde API).
+// ---------------------------------------------------------------------------
+
+/// Expects a map, with a type name for the error message.
+#[doc(hidden)]
+pub fn __expect_map<'a>(c: &'a Content, what: &str) -> Result<&'a [(Content, Content)], DeError> {
+    c.as_map().ok_or_else(|| DeError::expected(what, c))
+}
+
+/// Expects a sequence, with a type name for the error message.
+#[doc(hidden)]
+pub fn __expect_seq<'a>(c: &'a Content, what: &str) -> Result<&'a [Content], DeError> {
+    c.as_seq().ok_or_else(|| DeError::expected(what, c))
+}
+
+/// Looks up and deserializes one struct field from map entries.
+#[doc(hidden)]
+pub fn __get_field<T: Deserialize>(
+    entries: &[(Content, Content)],
+    key: &str,
+    ty: &str,
+) -> Result<T, DeError> {
+    for (k, v) in entries {
+        if k.as_str() == Some(key) {
+            return T::deserialize(v);
+        }
+    }
+    // Missing field: allow `Option`-like types to default from null.
+    match T::deserialize(&Content::Null) {
+        Ok(v) => Ok(v),
+        Err(_) => Err(DeError::custom(format!("missing field `{key}` in {ty}"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Impls for std types.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(c: &Content) -> Result<Self, DeError> {
+                let v: u64 = match c {
+                    Content::U64(v) => *v,
+                    Content::I64(v) if *v >= 0 => *v as u64,
+                    Content::Str(s) => s
+                        .parse::<u64>()
+                        .map_err(|_| DeError::custom(format!("invalid integer key `{s}`")))?,
+                    other => return Err(DeError::expected("an unsigned integer", other)),
+                };
+                <$t>::try_from(v)
+                    .map_err(|_| DeError::custom(format!("integer {v} out of range")))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(c: &Content) -> Result<Self, DeError> {
+                let v: i64 = match c {
+                    Content::I64(v) => *v,
+                    Content::U64(v) => i64::try_from(*v)
+                        .map_err(|_| DeError::custom(format!("integer {v} out of range")))?,
+                    Content::Str(s) => s
+                        .parse::<i64>()
+                        .map_err(|_| DeError::custom(format!("invalid integer key `{s}`")))?,
+                    other => return Err(DeError::expected("an integer", other)),
+                };
+                <$t>::try_from(v)
+                    .map_err(|_| DeError::custom(format!("integer {v} out of range")))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::F64(v) => Ok(*v),
+            Content::U64(v) => Ok(*v as f64),
+            Content::I64(v) => Ok(*v as f64),
+            // Non-finite floats serialize as null (JSON has no NaN/inf).
+            Content::Null => Ok(f64::NAN),
+            other => Err(DeError::expected("a number", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        f64::deserialize(c).map(|v| v as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("a boolean", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("a string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        let s = String::deserialize(c)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(ch), None) => Ok(ch),
+            _ => Err(DeError::custom("expected a single-character string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Content {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self) -> Content {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        T::deserialize(c).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.serialize(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+fn seq_of<'a, I: IntoIterator<Item = &'a T>, T: Serialize + 'a>(it: I) -> Content {
+    Content::Seq(it.into_iter().map(Serialize::serialize).collect())
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Content {
+        seq_of(self)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Content {
+        seq_of(self)
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        let seq = __expect_seq(c, "an array")?;
+        if seq.len() != N {
+            return Err(DeError::custom(format!(
+                "expected an array of length {N}, found {}",
+                seq.len()
+            )));
+        }
+        let items = seq
+            .iter()
+            .map(T::deserialize)
+            .collect::<Result<Vec<_>, _>>()?;
+        items
+            .try_into()
+            .map_err(|_| DeError::custom("array length mismatch"))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Content {
+        seq_of(self)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        __expect_seq(c, "a sequence")?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn serialize(&self) -> Content {
+        seq_of(self)
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        __expect_seq(c, "a sequence")?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize(&self) -> Content {
+        seq_of(self)
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        __expect_seq(c, "a sequence")?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.serialize(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        __expect_map(c, "a map")?
+            .iter()
+            .map(|(k, v)| Ok((K::deserialize(k)?, V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($len:expr => $($t:ident . $idx:tt),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(c: &Content) -> Result<Self, DeError> {
+                let seq = __expect_seq(c, "a tuple")?;
+                if seq.len() != $len {
+                    return Err(DeError::custom(format!(
+                        "expected a tuple of length {}, found {}",
+                        $len,
+                        seq.len()
+                    )));
+                }
+                Ok(($($t::deserialize(&seq[$idx])?,)+))
+            }
+        }
+    };
+}
+impl_tuple!(1 => A.0);
+impl_tuple!(2 => A.0, B.1);
+impl_tuple!(3 => A.0, B.1, C.2);
+impl_tuple!(4 => A.0, B.1, C.2, D.3);
+
+impl Serialize for Content {
+    fn serialize(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        Ok(c.clone())
+    }
+}
+
+impl Serialize for () {
+    fn serialize(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl Deserialize for () {
+    fn deserialize(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(()),
+            other => Err(DeError::expected("null", other)),
+        }
+    }
+}

@@ -1,0 +1,389 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde core.
+//!
+//! Implemented without syn/quote (this workspace builds fully offline):
+//! the input `TokenStream` is walked by hand to extract the type's shape
+//! (named/tuple/unit struct, or enum of unit/tuple/struct variants), and
+//! the impl is emitted as source text parsed back into a `TokenStream`.
+//!
+//! Unsupported on purpose: generic types and `#[serde(...)]` attributes —
+//! the workspace uses neither.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let body = match &input.shape {
+        Shape::Struct(fields) => serialize_fields(&input.name, "self.", fields, None),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        arms.push_str(&format!(
+                            "{n}::{v} => ::serde::Content::Str(::std::string::String::from(\"{v}\")),\n",
+                            n = input.name,
+                            v = vname
+                        ));
+                    }
+                    Fields::Tuple(len) => {
+                        let binds: Vec<String> = (0..*len).map(|i| format!("__f{i}")).collect();
+                        let inner = variant_payload(&binds);
+                        arms.push_str(&format!(
+                            "{n}::{v}({b}) => ::serde::Content::Map(vec![(::serde::Content::Str(::std::string::String::from(\"{v}\")), {inner})]),\n",
+                            n = input.name,
+                            v = vname,
+                            b = binds.join(", ")
+                        ));
+                    }
+                    Fields::Named(names) => {
+                        let binds = names.join(", ");
+                        let mut entries = String::new();
+                        for f in names {
+                            entries.push_str(&format!(
+                                "(::serde::Content::Str(::std::string::String::from(\"{f}\")), ::serde::Serialize::serialize({f})),"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{n}::{v} {{ {binds} }} => ::serde::Content::Map(vec![(::serde::Content::Str(::std::string::String::from(\"{v}\")), ::serde::Content::Map(vec![{entries}]))]),\n",
+                            n = input.name,
+                            v = vname
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Content {{\n{body}\n}}\n\
+         }}",
+        name = input.name
+    );
+    out.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Struct(fields) => deserialize_fields(name, name, fields, "__c"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                        ));
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                        ));
+                    }
+                    _ => {
+                        let ctor =
+                            deserialize_fields(name, &format!("{name}::{vname}"), fields, "__v");
+                        data_arms.push_str(&format!("\"{vname}\" => {{ {ctor} }}\n"));
+                    }
+                }
+            }
+            format!(
+                "match __c {{\n\
+                     ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\
+                         __other => ::std::result::Result::Err(::serde::DeError::unknown_variant(__other, \"{name}\")),\n\
+                     }},\n\
+                     _ => {{\n\
+                         let __m = ::serde::__expect_map(__c, \"{name}\")?;\n\
+                         if __m.len() != 1 {{\n\
+                             return ::std::result::Result::Err(::serde::DeError::custom(\"expected a single-variant map for {name}\"));\n\
+                         }}\n\
+                         let (__k, __v) = &__m[0];\n\
+                         let __k = __k.as_str().ok_or_else(|| ::serde::DeError::custom(\"expected a string variant key for {name}\"))?;\n\
+                         match __k {{\n\
+                             {data_arms}\
+                             __other => ::std::result::Result::Err(::serde::DeError::unknown_variant(__other, \"{name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(__c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    );
+    out.parse().expect("generated Deserialize impl parses")
+}
+
+/// Serialize body for struct shapes (`prefix` is `self.` for structs).
+fn serialize_fields(_name: &str, prefix: &str, fields: &Fields, _variant: Option<&str>) -> String {
+    match fields {
+        Fields::Unit => "::serde::Content::Null".to_string(),
+        Fields::Tuple(1) => format!("::serde::Serialize::serialize(&{prefix}0)"),
+        Fields::Tuple(len) => {
+            let items: Vec<String> = (0..*len)
+                .map(|i| format!("::serde::Serialize::serialize(&{prefix}{i})"))
+                .collect();
+            format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+        }
+        Fields::Named(names) => {
+            let mut entries = String::new();
+            for f in names {
+                entries.push_str(&format!(
+                    "(::serde::Content::Str(::std::string::String::from(\"{f}\")), ::serde::Serialize::serialize(&{prefix}{f})),"
+                ));
+            }
+            format!("::serde::Content::Map(vec![{entries}])")
+        }
+    }
+}
+
+/// Serialize payload of an enum tuple variant from bound refs `__f0..`.
+fn variant_payload(binds: &[String]) -> String {
+    if binds.len() == 1 {
+        format!("::serde::Serialize::serialize({})", binds[0])
+    } else {
+        let items: Vec<String> = binds
+            .iter()
+            .map(|b| format!("::serde::Serialize::serialize({b})"))
+            .collect();
+        format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+    }
+}
+
+/// Deserialize-and-construct expression for `ctor` (a struct name or
+/// `Enum::Variant` path) from the content expression `src`.
+fn deserialize_fields(type_name: &str, ctor: &str, fields: &Fields, src: &str) -> String {
+    match fields {
+        Fields::Unit => format!("::std::result::Result::Ok({ctor})"),
+        Fields::Tuple(1) => {
+            format!("::std::result::Result::Ok({ctor}(::serde::Deserialize::deserialize({src})?))")
+        }
+        Fields::Tuple(len) => {
+            let items: Vec<String> = (0..*len)
+                .map(|i| format!("::serde::Deserialize::deserialize(&__seq[{i}])?"))
+                .collect();
+            format!(
+                "{{\n\
+                     let __seq = ::serde::__expect_seq({src}, \"{ctor}\")?;\n\
+                     if __seq.len() != {len} {{\n\
+                         return ::std::result::Result::Err(::serde::DeError::custom(\"wrong tuple arity for {ctor}\"));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({ctor}({items}))\n\
+                 }}",
+                items = items.join(", ")
+            )
+        }
+        Fields::Named(names) => {
+            let mut inits = String::new();
+            for f in names {
+                inits.push_str(&format!(
+                    "{f}: ::serde::__get_field(__fields, \"{f}\", \"{type_name}\")?,\n"
+                ));
+            }
+            format!(
+                "{{\n\
+                     let __fields = ::serde::__expect_map({src}, \"{ctor}\")?;\n\
+                     ::std::result::Result::Ok({ctor} {{ {inits} }})\n\
+                 }}"
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing.
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut iter = input.into_iter().peekable();
+    // Skip outer attributes (incl. doc comments) and visibility.
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let keyword = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected a type name, got {other:?}"),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive(Serialize/Deserialize): generic types are not supported by the vendored serde_derive");
+    }
+    let shape = match keyword.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Struct(Fields::Unit),
+            other => panic!("derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("derive: `{other}` items are not supported"),
+    };
+    Input { name, shape }
+}
+
+/// Field names of a braced struct body (types are skipped; nested groups
+/// are atomic tokens, so only `<`/`>` need depth tracking).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    iter.next();
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("derive: expected a field name, got {other:?}"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        names.push(name);
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        for tok in iter.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    names
+}
+
+/// Arity of a tuple-struct/variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut depth = 0i32;
+    let mut pending = false;
+    for tok in stream {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                pending = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                pending = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                pending = false;
+            }
+            _ => pending = true,
+        }
+    }
+    if pending {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    let mut variants = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        // Skip attributes (incl. doc comments) before the variant name.
+        while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            iter.next();
+            iter.next();
+        }
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("derive: expected a variant name, got {other:?}"),
+        };
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream()));
+                iter.next();
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                iter.next();
+                f
+            }
+            _ => Fields::Unit,
+        };
+        variants.push((name, fields));
+        // Consume up to and including the variant separator (also skips
+        // explicit discriminants, which never contain top-level commas).
+        for tok in iter.by_ref() {
+            if matches!(&tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+    }
+    variants
+}

@@ -1,0 +1,598 @@
+//! Minimal, offline-vendored JSON codec compatible with the subset of
+//! `serde_json` this workspace uses: `to_string`, `to_string_pretty`,
+//! `from_str`, the [`json!`] macro, and a [`Value`] tree.
+//!
+//! [`Value`] is the vendored serde's [`Content`](serde::Content) tree, so
+//! anything `Serialize` converts losslessly. Floats print via Rust's
+//! shortest-roundtrip formatter (the `float_roundtrip` behavior of real
+//! serde_json); non-finite floats serialize as `null`.
+
+use serde::{Content, Serialize};
+use std::fmt;
+
+/// A JSON value (the vendored serde content tree).
+pub type Value = Content;
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl fmt::Display) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error::new(e)
+    }
+}
+
+/// Converts any serializable value into a [`Value`].
+pub fn to_value<T: Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.serialize())
+}
+
+/// Infallible by-reference conversion used by the [`json!`] macro.
+#[doc(hidden)]
+pub fn __to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.serialize()
+}
+
+/// Deserializes a typed value from a [`Value`].
+pub fn from_value<T: serde::de::DeserializeOwned>(value: Value) -> Result<T, Error> {
+    T::deserialize(&value).map_err(Error::from)
+}
+
+/// Serializes a value to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_content(&mut out, &value.serialize(), None, 0)?;
+    Ok(out)
+}
+
+/// Serializes a value to a 2-space-indented JSON string.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_content(&mut out, &value.serialize(), Some(2), 0)?;
+    Ok(out)
+}
+
+/// Deserializes a typed value from a JSON string.
+pub fn from_str<T: serde::de::DeserializeOwned>(input: &str) -> Result<T, Error> {
+    let value = parse(input)?;
+    T::deserialize(&value).map_err(Error::from)
+}
+
+/// Builds a [`Value`] from JSON-like object/array literals. Values are
+/// arbitrary `Serialize` expressions (taken by reference, like real
+/// serde_json's macro); nested containers are written as nested `json!`
+/// calls.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([ $($tt:tt)* ]) => { $crate::__json_array!(@elems [] $($tt)*) };
+    ({ $($tt:tt)* }) => { $crate::__json_object!(@entries [] $($tt)*) };
+    ($other:expr) => { $crate::__to_value(&$other) };
+}
+
+/// Object muncher: splits `key : value` pairs on top-level commas, then
+/// re-dispatches each value through [`json!`] (so `null`, nested literals
+/// and arbitrary expressions all work).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_object {
+    (@entries [$($entries:tt)*]) => {
+        $crate::Value::Map(vec![$($entries)*])
+    };
+    (@entries [$($entries:tt)*] $key:tt : $($rest:tt)*) => {
+        $crate::__json_object!(@value [$($entries)*] $key [] $($rest)*)
+    };
+    (@value [$($entries:tt)*] $key:tt [$($val:tt)+] , $($rest:tt)*) => {
+        $crate::__json_object!(@entries [
+            $($entries)*
+            ($crate::Value::Str(::std::string::String::from($key)), $crate::json!($($val)+)),
+        ] $($rest)*)
+    };
+    (@value [$($entries:tt)*] $key:tt [$($val:tt)+]) => {
+        $crate::__json_object!(@entries [
+            $($entries)*
+            ($crate::Value::Str(::std::string::String::from($key)), $crate::json!($($val)+)),
+        ])
+    };
+    (@value [$($entries:tt)*] $key:tt [$($val:tt)*] $next:tt $($rest:tt)*) => {
+        $crate::__json_object!(@value [$($entries)*] $key [$($val)* $next] $($rest)*)
+    };
+}
+
+/// Array muncher: splits elements on top-level commas and re-dispatches
+/// each through [`json!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_array {
+    (@elems [$($elems:tt)*]) => {
+        $crate::Value::Seq(vec![$($elems)*])
+    };
+    (@elems [$($elems:tt)*] $($rest:tt)+) => {
+        $crate::__json_array!(@value [$($elems)*] [] $($rest)+)
+    };
+    (@value [$($elems:tt)*] [$($val:tt)+] , $($rest:tt)*) => {
+        $crate::__json_array!(@elems [$($elems)* $crate::json!($($val)+),] $($rest)*)
+    };
+    (@value [$($elems:tt)*] [$($val:tt)+]) => {
+        $crate::__json_array!(@elems [$($elems)* $crate::json!($($val)+),])
+    };
+    (@value [$($elems:tt)*] [$($val:tt)*] $next:tt $($rest:tt)*) => {
+        $crate::__json_array!(@value [$($elems)*] [$($val)* $next] $($rest)*)
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Writer.
+// ---------------------------------------------------------------------------
+
+fn write_content(
+    out: &mut String,
+    c: &Content,
+    indent: Option<usize>,
+    level: usize,
+) -> Result<(), Error> {
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(true) => out.push_str("true"),
+        Content::Bool(false) => out.push_str("false"),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => write_f64(out, *v),
+        Content::Str(s) => write_string(out, s),
+        Content::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return Ok(());
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_content(out, item, indent, level + 1)?;
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return Ok(());
+            }
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_key(out, k)?;
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_content(out, v, indent, level + 1)?;
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+}
+
+/// JSON object keys must be strings; integer keys (e.g. `BTreeMap<u32, _>`)
+/// are stringified like real serde_json does.
+fn write_key(out: &mut String, key: &Content) -> Result<(), Error> {
+    match key {
+        Content::Str(s) => {
+            write_string(out, s);
+            Ok(())
+        }
+        Content::U64(v) => {
+            write_string(out, &v.to_string());
+            Ok(())
+        }
+        Content::I64(v) => {
+            write_string(out, &v.to_string());
+            Ok(())
+        }
+        other => Err(Error::new(format!(
+            "map key must be a string, got {other:?}"
+        ))),
+    }
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let s = format!("{v}");
+    out.push_str(&s);
+    // Rust prints 1.0f64 as "1"; keep serde_json's "1.0" so the value
+    // visibly stays a float.
+    if !s.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser.
+// ---------------------------------------------------------------------------
+
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse(input: &str) -> Result<Content, Error> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!(
+            "trailing characters at offset {}",
+            p.pos
+        )));
+    }
+    Ok(value)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at offset {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Content, Error> {
+        if depth > MAX_DEPTH {
+            return Err(Error::new("recursion limit exceeded"));
+        }
+        self.skip_ws();
+        match self.peek() {
+            None => Err(Error::new("unexpected end of input")),
+            Some(b'n') => {
+                if self.eat_literal("null") {
+                    Ok(Content::Null)
+                } else {
+                    Err(Error::new(format!(
+                        "invalid literal at offset {}",
+                        self.pos
+                    )))
+                }
+            }
+            Some(b't') => {
+                if self.eat_literal("true") {
+                    Ok(Content::Bool(true))
+                } else {
+                    Err(Error::new(format!(
+                        "invalid literal at offset {}",
+                        self.pos
+                    )))
+                }
+            }
+            Some(b'f') => {
+                if self.eat_literal("false") {
+                    Ok(Content::Bool(false))
+                } else {
+                    Err(Error::new(format!(
+                        "invalid literal at offset {}",
+                        self.pos
+                    )))
+                }
+            }
+            Some(b'"') => self.string().map(Content::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                loop {
+                    items.push(self.value(depth + 1)?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Content::Seq(items));
+                        }
+                        _ => {
+                            return Err(Error::new(format!(
+                                "expected `,` or `]` at offset {}",
+                                self.pos
+                            )))
+                        }
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let value = self.value(depth + 1)?;
+                    entries.push((Content::Str(key), value));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Content::Map(entries));
+                        }
+                        _ => {
+                            return Err(Error::new(format!(
+                                "expected `,` or `}}` at offset {}",
+                                self.pos
+                            )))
+                        }
+                    }
+                }
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => Err(Error::new(format!(
+                "unexpected character `{}` at offset {}",
+                b as char, self.pos
+            ))),
+        }
+    }
+
+    fn number(&mut self) -> Result<Content, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid utf-8 in number"))?;
+        if !is_float {
+            if let Some(digits) = text.strip_prefix('-') {
+                if let Ok(v) = format!("-{digits}").parse::<i64>() {
+                    return Ok(Content::I64(v));
+                }
+            } else if let Ok(v) = text.parse::<u64>() {
+                return Ok(Content::U64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Content::F64)
+            .map_err(|_| Error::new(format!("invalid number `{text}`")))
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(Error::new("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(Error::new("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                if !(self.eat_literal("\\u")) {
+                                    return Err(Error::new("unpaired surrogate"));
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(Error::new("invalid low surrogate"));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("invalid unicode escape"))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::new(format!("invalid escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => {
+                    // Re-decode UTF-8 starting at the byte we just stepped
+                    // past; multi-byte sequences advance further.
+                    let s = &self.bytes[self.pos - 1..];
+                    let text = std::str::from_utf8(&s[..s.len().min(4)])
+                        .or_else(|e| {
+                            if e.valid_up_to() > 0 {
+                                std::str::from_utf8(&s[..e.valid_up_to()])
+                            } else {
+                                Err(e)
+                            }
+                        })
+                        .map_err(|_| Error::new("invalid utf-8 in string"))?;
+                    let ch = text
+                        .chars()
+                        .next()
+                        .ok_or_else(|| Error::new("invalid utf-8"))?;
+                    out.push(ch);
+                    self.pos += ch.len_utf8() - 1;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(Error::new("truncated unicode escape"));
+        }
+        let text = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| Error::new("invalid unicode escape"))?;
+        let v = u32::from_str_radix(text, 16).map_err(|_| Error::new("invalid unicode escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&"a\"b").unwrap(), "\"a\\\"b\"");
+        let v: f64 = from_str("1.5").unwrap();
+        assert_eq!(v, 1.5);
+    }
+
+    #[test]
+    fn roundtrip_collections() {
+        let xs = vec![1u64, 2, 3];
+        let json = to_string(&xs).unwrap();
+        assert_eq!(json, "[1,2,3]");
+        let back: Vec<u64> = from_str(&json).unwrap();
+        assert_eq!(back, xs);
+    }
+
+    #[test]
+    fn json_macro_builds_objects() {
+        let v = json!({ "a": 1u64, "b": [json!(2u64)], "c": null });
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "{\"a\":1,\"b\":[2],\"c\":null}");
+    }
+
+    #[test]
+    fn parses_escapes_and_unicode() {
+        let s: String = from_str("\"\\u0041\\n\\u00e9\"").unwrap();
+        assert_eq!(s, "A\né");
+    }
+}
