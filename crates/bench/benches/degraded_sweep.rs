@@ -1,0 +1,50 @@
+//! Degraded-mode accuracy: how FChain's precision, recall and diagnosis
+//! coverage degrade as a growing fraction of the slave daemons are
+//! unreachable when the SLO violation fires.
+//!
+//! The paper's testbed never loses a slave; this sweep quantifies the
+//! price of the degraded-mode master (deadline-bounded fan-out, partial
+//! coverage reporting) under seeded slave crashes. Results are written to
+//! `BENCH_degraded.json` at the repository root, in the same JSON shape as
+//! the other BENCH files.
+
+use fchain_core::FChainConfig;
+use fchain_eval::DegradedCampaign;
+use fchain_sim::{AppKind, FaultKind};
+
+fn main() {
+    let mut campaign = DegradedCampaign::new(AppKind::Rubis, FaultKind::CpuHog, 900);
+    campaign.loss_rates = vec![0.0, 0.1, 0.25, 0.5, 0.75, 1.0];
+    campaign.config = FChainConfig {
+        slave_deadline_ms: 2_000,
+        ..FChainConfig::default()
+    };
+    let points = campaign.evaluate();
+
+    // The sweep is only meaningful if the seeds actually produced
+    // violations, and losing every slave must silence diagnosis entirely
+    // rather than inventing pinpointings.
+    let clean = points.first().expect("non-empty sweep");
+    assert!(clean.diagnoses >= 1, "no seeded run produced a violation");
+    assert_eq!(clean.mean_coverage, 1.0, "clean sweep lost a slave");
+    let total_loss = points.last().expect("non-empty sweep");
+    assert_eq!(total_loss.counts.fp, 0, "findings invented without slaves");
+
+    let payload = campaign.to_json(&points);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_degraded.json");
+    let rendered = serde_json::to_string_pretty(&payload).expect("serializable payload");
+    std::fs::write(path, rendered + "\n").expect("write BENCH_degraded.json");
+    println!("wrote {path}");
+    for p in &points {
+        println!(
+            "loss {:.2}: P={:.2} R={:.2} coverage={:.2} over {} diagnoses \
+             ({} unreachable slaves)",
+            p.loss_rate,
+            p.counts.precision(),
+            p.counts.recall(),
+            p.mean_coverage,
+            p.diagnoses,
+            p.unreachable_slaves
+        );
+    }
+}

@@ -2,8 +2,8 @@
 
 use crate::args::Args;
 use fchain_baselines::{DependencyScheme, HistogramScheme, NetMedic, Pal, TopologyScheme};
-use fchain_core::{FChain, Localizer, Verdict};
-use fchain_eval::{case_from_run, render, Campaign, OracleProbe};
+use fchain_core::{FChain, FChainConfig, Localizer, Verdict};
+use fchain_eval::{case_from_run, render, Campaign, DegradedCampaign, OracleProbe};
 use fchain_metrics::MetricKind;
 use fchain_sim::{AppKind, FaultKind, RunConfig, RunRecord, Simulator, Workload as _};
 use serde_json::json;
@@ -252,6 +252,83 @@ pub fn compare(args: &Args) -> CliResult {
     Ok(())
 }
 
+/// `fchain degraded` — slave-loss sweep: how does diagnosis accuracy
+/// degrade when a fraction of the slaves are unreachable at `t_v`?
+pub fn degraded(args: &Args) -> CliResult {
+    let app = parse_app(args.require("app")?)?;
+    let fault = parse_fault(args.require("fault")?)?;
+    let loss_rates: Vec<f64> = match args.get("rates") {
+        None => vec![0.0, 0.25, 0.5, 0.75],
+        Some(raw) => raw
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|r| (0.0..=1.0).contains(r))
+                    .ok_or_else(|| format!("invalid loss rate {s:?} (expected 0..=1)"))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let config = FChainConfig {
+        slave_deadline_ms: args.get_parsed("slave-deadline-ms", 0u64)?,
+        slave_retries: args.get_parsed("slave-retries", 2u32)?,
+        slave_backoff_ms: args.get_parsed("slave-backoff-ms", 1u64)?,
+        ..FChainConfig::default()
+    };
+    let campaign = DegradedCampaign {
+        app,
+        fault,
+        runs: args.get_parsed("runs", 10usize)?,
+        base_seed: args.get_parsed("seed", 1000u64)?,
+        duration: args.get_parsed("duration", 1500u64)?,
+        lookback: args.get_parsed("lookback", default_lookback(fault))?,
+        hosts: args.get_parsed("hosts", 4usize)?,
+        loss_rates,
+        config,
+    };
+    let points = campaign.evaluate();
+
+    if args.has("json") || args.get("out").is_some() {
+        let rendered = serde_json::to_string_pretty(&campaign.to_json(&points))?;
+        match args.get("out") {
+            Some(path) => {
+                std::fs::write(path, &rendered)
+                    .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+                println!("wrote {path}");
+            }
+            None => println!("{rendered}"),
+        }
+        return Ok(());
+    }
+
+    println!(
+        "{app} / {fault} — slave-loss sweep ({} runs × {} hosts, W={}, \
+         deadline {} ms, {} retries)",
+        campaign.runs,
+        campaign.hosts,
+        campaign.lookback,
+        campaign.config.slave_deadline_ms,
+        campaign.config.slave_retries
+    );
+    println!(
+        "  {:>9}  {:>9}  {:>6}  {:>8}  {:>10}  {:>11}",
+        "loss rate", "precision", "recall", "coverage", "diagnoses", "unreachable"
+    );
+    for p in &points {
+        println!(
+            "  {:>9.2}  {:>9.2}  {:>6.2}  {:>8.2}  {:>10}  {:>11}",
+            p.loss_rate,
+            p.counts.precision(),
+            p.counts.recall(),
+            p.mean_coverage,
+            p.diagnoses,
+            p.unreachable_slaves
+        );
+    }
+    Ok(())
+}
+
 /// `fchain surge` — external-factor detection demo.
 pub fn surge(args: &Args) -> CliResult {
     let app = parse_app(args.get("app").unwrap_or("rubis"))?;
@@ -399,6 +476,37 @@ mod tests {
         ])
         .unwrap();
         run(&args).expect("replayed run");
+    }
+
+    #[test]
+    fn degraded_command_end_to_end() {
+        let args = Args::parse([
+            "degraded",
+            "--app",
+            "rubis",
+            "--fault",
+            "cpuhog",
+            "--seed",
+            "900",
+            "--runs",
+            "2",
+            "--duration",
+            "1500",
+            "--rates",
+            "0,0.5",
+            "--json",
+        ])
+        .unwrap();
+        degraded(&args).expect("degraded sweep runs");
+    }
+
+    #[test]
+    fn degraded_command_rejects_bad_rates() {
+        let args = Args::parse([
+            "degraded", "--app", "rubis", "--fault", "cpuhog", "--rates", "0,1.5",
+        ])
+        .unwrap();
+        assert!(degraded(&args).is_err());
     }
 
     #[test]

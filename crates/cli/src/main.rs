@@ -5,6 +5,7 @@
 //! fchain run      --app rubis --fault cpuhog --seed 42 [--duration 3600] [--json]
 //! fchain diagnose --app rubis --fault memleak --seed 7 [--lookback 100] [--validate] [--json]
 //! fchain compare  --app systems --fault conc_memleak [--runs 30] [--lookback 100]
+//! fchain degraded --app rubis --fault cpuhog [--rates 0,0.25,0.5] [--hosts 4] [--json]
 //! fchain surge    --app rubis [--seed 1] [--runs 10]
 //! fchain list
 //! ```
@@ -25,6 +26,7 @@ COMMANDS:
     run       simulate one faulty application run and summarize it
     diagnose  simulate a run and let FChain pinpoint the faulty component(s)
     compare   score FChain against the baseline schemes over a campaign
+    degraded  sweep the slave-loss rate and report accuracy/coverage degradation
     surge     demonstrate external-factor (workload change) detection
     list      print the available applications, faults and schemes
 
@@ -38,6 +40,14 @@ COMMON FLAGS:
     --validate                      also run online pinpointing validation
     --replay-csv <PATH>             replay a recorded `tick,intensity` workload
     --json                          machine-readable output
+
+DEGRADED-MODE FLAGS (fchain degraded):
+    --rates <R1,R2,...>             slave-loss rates to sweep (default 0,0.25,0.5,0.75)
+    --hosts <N>                     slave daemons to spread components over (default 4)
+    --slave-deadline-ms <MS>        per-slave response deadline, 0 = wait forever (default 0)
+    --slave-retries <N>             retry budget for transient slave errors (default 2)
+    --slave-backoff-ms <MS>         base backoff between retries (default 1)
+    --out <PATH>                    write the JSON sweep to a file
 ";
 
 fn main() -> ExitCode {
@@ -52,6 +62,7 @@ fn main() -> ExitCode {
         Some("run") => commands::run(&args),
         Some("diagnose") => commands::diagnose(&args),
         Some("compare") => commands::compare(&args),
+        Some("degraded") => commands::degraded(&args),
         Some("surge") => commands::surge(&args),
         Some("list") => commands::list(),
         Some("help") | None => {

@@ -65,6 +65,19 @@ pub struct FChainConfig {
     /// analysis with a longer window instead of requiring the operator to
     /// know the fault's speed in advance.
     pub adaptive_lookback: bool,
+    /// Per-slave response budget (milliseconds) for the master's
+    /// violation fan-out. A slave that has not answered within the
+    /// deadline is abandoned as a straggler and the diagnosis proceeds
+    /// degraded (its status is recorded in
+    /// [`crate::DiagnosisCoverage`]). `0` disables the deadline — the
+    /// paper's testbed assumption that every slave answers.
+    pub slave_deadline_ms: u64,
+    /// Bounded retries after a *transient* slave error (a crashed or
+    /// partitioned host fails fast and is never retried).
+    pub slave_retries: u32,
+    /// Base backoff (milliseconds) between slave retries, doubled on each
+    /// further attempt.
+    pub slave_backoff_ms: u64,
     /// Adaptive smoothing (paper §III.C, listed as ongoing work): choose
     /// the smoothing width per metric from its noise profile instead of a
     /// fixed half-width, so clean signals keep sharp onsets while jittery
@@ -93,6 +106,9 @@ impl Default for FChainConfig {
             error_slack: 5,
             external_quorum: 0.75,
             adaptive_lookback: false,
+            slave_deadline_ms: 0,
+            slave_retries: 2,
+            slave_backoff_ms: 1,
             adaptive_smoothing: false,
             learner: LearnerConfig::default(),
             cusum: CusumConfig::default(),
@@ -131,6 +147,14 @@ impl FChainConfig {
             self.tangent_epsilon > 0.0,
             "tangent_epsilon must be positive"
         );
+        assert!(
+            self.slave_retries <= 16,
+            "slave_retries must stay bounded (a crashed host is not coming back)"
+        );
+        assert!(
+            self.slave_backoff_ms <= 60_000,
+            "slave_backoff_ms must stay under a minute"
+        );
     }
 }
 
@@ -161,5 +185,25 @@ mod tests {
     #[should_panic(expected = "lookback")]
     fn tiny_lookback_rejected() {
         FChainConfig::with_lookback(5).validate();
+    }
+
+    #[test]
+    fn degraded_mode_is_off_by_default() {
+        // deadline 0 = the paper's assumption that every slave answers;
+        // retries/backoff only matter once a transient fault appears.
+        let c = FChainConfig::default();
+        assert_eq!(c.slave_deadline_ms, 0);
+        assert_eq!(c.slave_retries, 2);
+        assert_eq!(c.slave_backoff_ms, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "slave_retries")]
+    fn unbounded_retries_rejected() {
+        let c = FChainConfig {
+            slave_retries: 1000,
+            ..FChainConfig::default()
+        };
+        c.validate();
     }
 }

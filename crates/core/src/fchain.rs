@@ -120,6 +120,9 @@ impl FChain {
             pinpointed,
             findings,
             removed_by_validation: Vec::new(),
+            // The batch API analyzes every component in-process: there is
+            // no slave fan-out that could fail, so coverage is complete.
+            coverage: crate::report::DiagnosisCoverage::default(),
         }
     }
 

@@ -77,6 +77,11 @@ pub use case::{CaseData, ComponentCase};
 pub use config::FChainConfig;
 pub use fchain::FChain;
 pub use localizer::Localizer;
+pub use master::endpoint::{
+    FaultySlave, SlaveEndpoint, SlaveError, SlaveFault, SlaveFaultSchedule,
+};
 pub use master::pinpoint::{pinpoint, PinpointInput};
 pub use master::validation::{validate_pinpointing, ValidationProbe};
-pub use report::{AbnormalChange, ComponentFinding, DiagnosisReport, Verdict};
+pub use report::{
+    AbnormalChange, ComponentFinding, DiagnosisCoverage, DiagnosisReport, SlaveStatus, Verdict,
+};

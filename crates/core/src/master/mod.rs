@@ -7,8 +7,10 @@
 //! pinpoints the culprit component(s), and optionally validates each
 //! pinpointing by scaling the implicated resource and watching the SLO.
 
+pub mod endpoint;
 pub mod orchestrator;
 pub mod pinpoint;
 pub mod validation;
 
+pub use endpoint::{FaultySlave, SlaveEndpoint, SlaveError, SlaveFault, SlaveFaultSchedule};
 pub use orchestrator::Master;

@@ -7,20 +7,29 @@
 //! is invoked ... The FChain master first contacts the slaves on all
 //! related distributed hosts."
 //!
-//! [`Master`] holds one [`SlaveDaemon`] handle per cloud node plus the
+//! [`Master`] holds one [`SlaveEndpoint`] handle per cloud node plus the
 //! offline-discovered dependency graph, and turns an SLO-violation
 //! notification into a [`DiagnosisReport`] by collecting every slave's
 //! findings and running the integrated pinpointing (optionally followed by
 //! online validation).
+//!
+//! Unlike the paper's testbed, the fan-out does not assume the slaves are
+//! healthy: each slave gets a bounded number of retries for transient
+//! errors, a per-slave response deadline abandons stragglers
+//! ([`crate::FChainConfig::slave_deadline_ms`]), and the report carries
+//! [`DiagnosisCoverage`] so a clean verdict can be told from a partial
+//! one.
 
 use crate::config::FChainConfig;
+use crate::master::endpoint::{SlaveEndpoint, SlaveError};
 use crate::master::pinpoint::{pinpoint, PinpointInput};
 use crate::master::validation::{validate_pinpointing, ValidationProbe};
-use crate::report::{ComponentFinding, DiagnosisReport};
-use crate::slave::SlaveDaemon;
+use crate::report::{ComponentFinding, DiagnosisCoverage, DiagnosisReport, SlaveStatus};
 use fchain_deps::DependencyGraph;
-use fchain_metrics::Tick;
+use fchain_metrics::{ComponentId, Tick};
+use std::sync::mpsc;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// The master module coordinating per-host slave daemons.
 ///
@@ -35,7 +44,7 @@ use std::sync::Arc;
 ///
 /// let slave = Arc::new(SlaveDaemon::new(FChainConfig::default()));
 /// let mut master = Master::new(FChainConfig::default());
-/// master.register_slave(Arc::clone(&slave));
+/// master.register_slave(slave.clone());
 ///
 /// // The slave monitors one component whose CPU jumps at t = 940.
 /// for t in 0..1000u64 {
@@ -47,12 +56,19 @@ use std::sync::Arc;
 /// }
 /// let report = master.on_violation(990);
 /// assert_eq!(report.pinpointed, vec![ComponentId(0)]);
+/// assert!(report.coverage.is_complete());
 /// ```
 #[derive(Debug)]
 pub struct Master {
     config: FChainConfig,
-    slaves: Vec<Arc<SlaveDaemon>>,
+    slaves: Vec<Arc<dyn SlaveEndpoint>>,
     dependencies: Option<DependencyGraph>,
+}
+
+/// What one slave contributed to a fan-out.
+struct SlaveOutcome {
+    findings: Vec<ComponentFinding>,
+    status: SlaveStatus,
 }
 
 impl Master {
@@ -66,8 +82,8 @@ impl Master {
         }
     }
 
-    /// Registers the slave daemon of one cloud node.
-    pub fn register_slave(&mut self, slave: Arc<SlaveDaemon>) {
+    /// Registers the slave endpoint of one cloud node.
+    pub fn register_slave(&mut self, slave: Arc<dyn SlaveEndpoint>) {
         self.slaves.push(slave);
     }
 
@@ -83,69 +99,217 @@ impl Master {
         self.dependencies = Some(deps);
     }
 
-    /// Collects every slave's abnormal-change findings for the look-back
-    /// window ending at `violation_at`.
-    ///
-    /// In deployment this fans out over the network and the slaves compute
-    /// in parallel ("FChain also distributes the change point computation
-    /// load on different hosts", §III.G); here the fan-out is a scoped
-    /// thread per slave daemon. Per-slave results are assembled in
-    /// registration order before the final sort, so the outcome is
-    /// identical to a sequential loop.
+    /// Collects every reachable slave's abnormal-change findings for the
+    /// look-back window ending at `violation_at`, merging duplicates.
     pub fn collect_findings(&self, violation_at: Tick) -> Vec<ComponentFinding> {
-        let mut findings: Vec<ComponentFinding> = if self.slaves.len() <= 1 {
+        self.fan_out(violation_at, false).0
+    }
+
+    /// One slave queried with bounded retry: transient errors are retried
+    /// up to `slave_retries` times with doubling backoff; unreachable
+    /// hosts fail fast.
+    fn query_with_retry(
+        slave: &dyn SlaveEndpoint,
+        violation_at: Tick,
+        retries: u32,
+        backoff: Duration,
+        sequential: bool,
+    ) -> SlaveOutcome {
+        for attempt in 0..=retries {
+            let result = if sequential {
+                slave.collect_sequential(violation_at)
+            } else {
+                slave.collect(violation_at)
+            };
+            match result {
+                Ok(findings) => {
+                    let status = if attempt == 0 {
+                        SlaveStatus::Ok
+                    } else {
+                        SlaveStatus::Recovered { retries: attempt }
+                    };
+                    return SlaveOutcome { findings, status };
+                }
+                Err(SlaveError::Unreachable) => {
+                    return SlaveOutcome {
+                        findings: Vec::new(),
+                        status: SlaveStatus::Unreachable,
+                    };
+                }
+                Err(SlaveError::Transient) if attempt < retries => {
+                    std::thread::sleep(backoff * 2u32.pow(attempt));
+                }
+                Err(SlaveError::Transient) => {}
+            }
+        }
+        SlaveOutcome {
+            findings: Vec::new(),
+            status: SlaveStatus::Unreachable,
+        }
+    }
+
+    /// The violation fan-out: every slave queried (in parallel unless
+    /// `sequential`), stragglers abandoned at the deadline, per-slave
+    /// outcomes assembled into findings + coverage.
+    ///
+    /// The sequential reference enforces the *same* per-slave deadline by
+    /// timing each call and discarding late answers, so for a given fault
+    /// schedule (with latencies well clear of the deadline) both paths
+    /// produce bit-identical reports — only wall-clock differs.
+    fn fan_out(
+        &self,
+        violation_at: Tick,
+        sequential: bool,
+    ) -> (Vec<ComponentFinding>, DiagnosisCoverage) {
+        let retries = self.config.slave_retries;
+        let backoff = Duration::from_millis(self.config.slave_backoff_ms);
+        let deadline = (self.config.slave_deadline_ms > 0)
+            .then(|| Duration::from_millis(self.config.slave_deadline_ms));
+
+        let outcomes: Vec<SlaveOutcome> = if sequential || self.slaves.len() <= 1 {
             self.slaves
                 .iter()
-                .flat_map(|s| s.analyze_all(violation_at))
+                .map(|slave| {
+                    let started = Instant::now();
+                    let mut outcome = Self::query_with_retry(
+                        slave.as_ref(),
+                        violation_at,
+                        retries,
+                        backoff,
+                        sequential,
+                    );
+                    if let Some(budget) = deadline {
+                        if started.elapsed() > budget && outcome.status.answered() {
+                            // The answer arrived past the deadline; the
+                            // parallel fan-out would have abandoned it.
+                            outcome = SlaveOutcome {
+                                findings: Vec::new(),
+                                status: SlaveStatus::TimedOut,
+                            };
+                        }
+                    }
+                    outcome
+                })
                 .collect()
         } else {
-            let slots: Vec<parking_lot::Mutex<Vec<ComponentFinding>>> =
-                self.slaves.iter().map(|_| Default::default()).collect();
-            let next = std::sync::atomic::AtomicUsize::new(0);
-            std::thread::scope(|scope| {
-                let workers = std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-                    .min(self.slaves.len());
-                for _ in 0..workers {
-                    scope.spawn(|| loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= self.slaves.len() {
-                            break;
-                        }
-                        *slots[i].lock() = self.slaves[i].analyze_all(violation_at);
-                    });
-                }
-            });
-            slots.into_iter().flat_map(|m| m.into_inner()).collect()
+            self.fan_out_parallel(violation_at, retries, backoff, deadline)
         };
-        findings.sort_by_key(|f| f.id);
-        findings.dedup_by_key(|f| f.id);
-        findings
+
+        let total = outcomes.len();
+        let answered = outcomes.iter().filter(|o| o.status.answered()).count();
+        let mut findings: Vec<ComponentFinding> = Vec::new();
+        let mut slaves = Vec::with_capacity(total);
+        let mut unreachable_slaves = Vec::new();
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            if !outcome.status.answered() {
+                unreachable_slaves.push(i);
+            }
+            slaves.push(outcome.status);
+            findings.extend(outcome.findings);
+        }
+        let findings = merge_findings(findings);
+
+        // The blind spot: components monitored only by slaves that never
+        // answered. A component an answering slave also covers is not
+        // blind (redundant monitoring).
+        let covered: Vec<ComponentId> = findings.iter().map(|f| f.id).collect();
+        let mut unreachable_components: Vec<ComponentId> = unreachable_slaves
+            .iter()
+            .flat_map(|&i| self.slaves[i].monitored_components())
+            .filter(|c| !covered.contains(c))
+            .collect();
+        unreachable_components.sort();
+        unreachable_components.dedup();
+
+        let coverage = DiagnosisCoverage {
+            slaves,
+            unreachable_slaves,
+            unreachable_components,
+            coverage: if total == 0 {
+                1.0
+            } else {
+                answered as f64 / total as f64
+            },
+        };
+        (findings, coverage)
+    }
+
+    /// Deadline-bounded parallel fan-out: one detached worker per slave,
+    /// results drained off a channel until every slave answered or the
+    /// deadline passed. Stragglers keep running on their (doomed) worker
+    /// thread but the diagnosis stops waiting for them — the cure for a
+    /// fault localizer whose own probe faults.
+    fn fan_out_parallel(
+        &self,
+        violation_at: Tick,
+        retries: u32,
+        backoff: Duration,
+        deadline: Option<Duration>,
+    ) -> Vec<SlaveOutcome> {
+        let (tx, rx) = mpsc::channel::<(usize, SlaveOutcome)>();
+        for (i, slave) in self.slaves.iter().enumerate() {
+            let slave = Arc::clone(slave);
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                let outcome =
+                    Self::query_with_retry(slave.as_ref(), violation_at, retries, backoff, false);
+                // The receiver may have given up on us already.
+                let _ = tx.send((i, outcome));
+            });
+        }
+        drop(tx);
+
+        let started = Instant::now();
+        let mut slots: Vec<Option<SlaveOutcome>> = (0..self.slaves.len()).map(|_| None).collect();
+        let mut pending = self.slaves.len();
+        while pending > 0 {
+            let received = match deadline {
+                None => rx.recv().ok(),
+                Some(budget) => match budget.checked_sub(started.elapsed()) {
+                    Some(left) => rx.recv_timeout(left).ok(),
+                    // Deadline passed: drain what already arrived, then
+                    // give up on the rest.
+                    None => rx.try_recv().ok(),
+                },
+            };
+            let Some((i, outcome)) = received else {
+                break; // deadline passed (or every worker hung up)
+            };
+            slots[i] = Some(outcome);
+            pending -= 1;
+        }
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.unwrap_or(SlaveOutcome {
+                    findings: Vec::new(),
+                    status: SlaveStatus::TimedOut,
+                })
+            })
+            .collect()
     }
 
     /// Full diagnosis on an SLO violation.
     pub fn on_violation(&self, violation_at: Tick) -> DiagnosisReport {
-        self.report_from_findings(self.collect_findings(violation_at))
+        let (findings, coverage) = self.fan_out(violation_at, false);
+        self.report_from_findings(findings, coverage)
     }
 
     /// Reference single-threaded diagnosis: identical to
     /// [`Master::on_violation`] with every fan-out replaced by a plain
     /// loop. The parallel path is required (and tested) to produce a
-    /// bit-identical report for the same state.
+    /// bit-identical report for the same state and fault schedule.
     pub fn on_violation_sequential(&self, violation_at: Tick) -> DiagnosisReport {
-        let mut findings: Vec<ComponentFinding> = self
-            .slaves
-            .iter()
-            .flat_map(|s| s.analyze_all_sequential(violation_at))
-            .collect();
-        findings.sort_by_key(|f| f.id);
-        findings.dedup_by_key(|f| f.id);
-        self.report_from_findings(findings)
+        let (findings, coverage) = self.fan_out(violation_at, true);
+        self.report_from_findings(findings, coverage)
     }
 
     /// Integrated pinpointing over already-collected findings.
-    fn report_from_findings(&self, findings: Vec<ComponentFinding>) -> DiagnosisReport {
+    fn report_from_findings(
+        &self,
+        findings: Vec<ComponentFinding>,
+        coverage: DiagnosisCoverage,
+    ) -> DiagnosisReport {
         let (verdict, pinpointed) = pinpoint(&PinpointInput {
             findings: &findings,
             dependencies: self.dependencies.as_ref(),
@@ -157,10 +321,18 @@ impl Master {
             pinpointed,
             findings,
             removed_by_validation: Vec::new(),
+            coverage,
         }
     }
 
     /// Diagnosis followed by online pinpointing validation.
+    ///
+    /// Validation only ever scales components that were pinpointed, and
+    /// pinpointing only ever blames components with findings — so
+    /// components on unreachable slaves (which contributed no findings)
+    /// are never probed, and [`DiagnosisReport::removed_by_validation`]
+    /// stays disjoint from
+    /// [`DiagnosisCoverage::unreachable_components`].
     pub fn on_violation_validated(
         &self,
         violation_at: Tick,
@@ -172,10 +344,36 @@ impl Master {
     }
 }
 
+/// Merges findings that report the same component (the same `ComponentId`
+/// seen by two registered slaves — e.g. a VM migrated mid-window, or
+/// redundant monitoring): the changes are unioned, which also yields the
+/// earliest onset across both reports. The pre-merge order is
+/// registration order, so the union is deterministic.
+fn merge_findings(mut findings: Vec<ComponentFinding>) -> Vec<ComponentFinding> {
+    findings.sort_by_key(|f| f.id);
+    let mut merged: Vec<ComponentFinding> = Vec::with_capacity(findings.len());
+    for f in findings {
+        match merged.last_mut() {
+            Some(last) if last.id == f.id => {
+                for change in f.changes {
+                    if !last.changes.contains(&change) {
+                        last.changes.push(change);
+                    }
+                }
+            }
+            _ => merged.push(f),
+        }
+    }
+    merged
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::slave::MetricSample;
+    use crate::master::endpoint::{FaultySlave, SlaveFault};
+    use crate::report::AbnormalChange;
+    use crate::slave::{MetricSample, SlaveDaemon};
+    use fchain_detect::Trend;
     use fchain_metrics::{ComponentId, MetricKind};
 
     /// Feeds `n` ticks of component `c` into `slave`, stepping CPU at
@@ -216,6 +414,9 @@ mod tests {
         let report = master.on_violation(990);
         assert_eq!(report.pinpointed, vec![ComponentId(2)]);
         assert_eq!(report.findings.len(), 4);
+        assert!(report.coverage.is_complete());
+        assert_eq!(report.coverage.coverage, 1.0);
+        assert_eq!(report.coverage.slaves, vec![SlaveStatus::Ok; 2]);
     }
 
     #[test]
@@ -223,6 +424,8 @@ mod tests {
         let master = Master::new(FChainConfig::default());
         let report = master.on_violation(100);
         assert_eq!(report.verdict, crate::Verdict::NoAnomaly);
+        assert!(report.coverage.is_complete());
+        assert_eq!(report.coverage.coverage, 1.0);
     }
 
     #[test]
@@ -236,7 +439,7 @@ mod tests {
         feed(&slave, 2, 1000, None);
 
         let mut bare = Master::new(FChainConfig::default());
-        bare.register_slave(Arc::clone(&slave));
+        bare.register_slave(Arc::clone(&slave) as Arc<dyn SlaveEndpoint>);
         let without = bare.on_violation(990);
         assert_eq!(without.pinpointed, vec![ComponentId(0)]);
 
@@ -266,5 +469,200 @@ mod tests {
         let report = master.on_violation_validated(990, &mut ApproveOnly(ComponentId(1)));
         assert_eq!(report.pinpointed, vec![ComponentId(1)]);
         assert_eq!(report.removed_by_validation, vec![ComponentId(0)]);
+    }
+
+    #[test]
+    fn duplicate_component_findings_are_merged_not_dropped() {
+        // Two registered slaves both report ComponentId(7) — one saw a
+        // CPU change, the other an earlier Memory change. The old
+        // `dedup_by_key` silently dropped the second report; the merge
+        // must union the changes and surface the earliest onset.
+        #[derive(Debug)]
+        struct Canned(Vec<ComponentFinding>);
+        impl SlaveEndpoint for Canned {
+            fn monitored_components(&self) -> Vec<ComponentId> {
+                self.0.iter().map(|f| f.id).collect()
+            }
+            fn collect(&self, _at: Tick) -> Result<Vec<ComponentFinding>, SlaveError> {
+                Ok(self.0.clone())
+            }
+            fn collect_sequential(&self, _at: Tick) -> Result<Vec<ComponentFinding>, SlaveError> {
+                Ok(self.0.clone())
+            }
+        }
+        let change = |metric, onset| AbnormalChange {
+            metric,
+            change_at: onset + 3,
+            onset,
+            prediction_error: 10.0,
+            expected_error: 1.0,
+            direction: Trend::Up,
+        };
+        let cpu = change(MetricKind::Cpu, 200);
+        let memory = change(MetricKind::Memory, 180);
+        let mut master = Master::new(FChainConfig::default());
+        master.register_slave(Arc::new(Canned(vec![ComponentFinding {
+            id: ComponentId(7),
+            changes: vec![cpu],
+        }])));
+        master.register_slave(Arc::new(Canned(vec![ComponentFinding {
+            id: ComponentId(7),
+            changes: vec![memory],
+        }])));
+        let findings = master.collect_findings(990);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].changes, vec![cpu, memory]);
+        assert_eq!(findings[0].onset(), Some(180), "earliest onset must win");
+        // Identical duplicates collapse instead of doubling.
+        let sequential = master.on_violation_sequential(990);
+        assert_eq!(sequential.findings, findings);
+    }
+
+    #[test]
+    fn crashed_slave_degrades_coverage_instead_of_panicking() {
+        let healthy = Arc::new(SlaveDaemon::new(FChainConfig::default()));
+        feed(&healthy, 0, 1000, Some(940));
+        let dead = Arc::new(SlaveDaemon::new(FChainConfig::default()));
+        feed(&dead, 1, 1000, None);
+        feed(&dead, 2, 1000, None);
+
+        let mut master = Master::new(FChainConfig::default());
+        master.register_slave(healthy);
+        master.register_slave(Arc::new(FaultySlave::new(dead, SlaveFault::Crash)));
+
+        let report = master.on_violation(990);
+        assert_eq!(report.pinpointed, vec![ComponentId(0)]);
+        assert!(!report.coverage.is_complete());
+        assert_eq!(report.coverage.unreachable_slaves, vec![1]);
+        assert_eq!(report.coverage.coverage, 0.5);
+        assert_eq!(
+            report.coverage.unreachable_components,
+            vec![ComponentId(1), ComponentId(2)]
+        );
+        assert_eq!(
+            report.coverage.slaves,
+            vec![SlaveStatus::Ok, SlaveStatus::Unreachable]
+        );
+        // The sequential reference sees the same degraded picture.
+        assert_eq!(report, master.on_violation_sequential(990));
+    }
+
+    #[test]
+    fn transient_slave_recovers_within_retry_budget() {
+        let daemon = Arc::new(SlaveDaemon::new(FChainConfig::default()));
+        feed(&daemon, 0, 1000, Some(940));
+        let flaky = Arc::new(FaultySlave::new(
+            Arc::clone(&daemon) as Arc<dyn SlaveEndpoint>,
+            SlaveFault::Transient { failures: 2 },
+        ));
+        let mut master = Master::new(FChainConfig::default()); // slave_retries = 2
+        master.register_slave(Arc::clone(&flaky) as Arc<dyn SlaveEndpoint>);
+        let report = master.on_violation(990);
+        assert_eq!(report.pinpointed, vec![ComponentId(0)]);
+        assert_eq!(
+            report.coverage.slaves,
+            vec![SlaveStatus::Recovered { retries: 2 }]
+        );
+        assert!(report.coverage.is_complete());
+        assert_eq!(flaky.calls(), 3);
+    }
+
+    #[test]
+    fn transient_slave_beyond_retry_budget_is_unreachable() {
+        let daemon = Arc::new(SlaveDaemon::new(FChainConfig::default()));
+        feed(&daemon, 0, 1000, Some(940));
+        let mut master = Master::new(FChainConfig {
+            slave_retries: 1,
+            ..FChainConfig::default()
+        });
+        master.register_slave(Arc::new(FaultySlave::new(
+            daemon,
+            SlaveFault::Transient { failures: 5 },
+        )));
+        let report = master.on_violation(990);
+        assert_eq!(report.verdict, crate::Verdict::NoAnomaly);
+        assert_eq!(report.coverage.slaves, vec![SlaveStatus::Unreachable]);
+        assert_eq!(report.coverage.unreachable_components, vec![ComponentId(0)]);
+    }
+
+    #[test]
+    fn straggler_is_abandoned_at_the_deadline() {
+        let fast = Arc::new(SlaveDaemon::new(FChainConfig::default()));
+        feed(&fast, 0, 1000, Some(940));
+        let slow = Arc::new(SlaveDaemon::new(FChainConfig::default()));
+        feed(&slow, 1, 1000, Some(935)); // would win pinpointing if heard
+
+        let mut master = Master::new(FChainConfig {
+            slave_deadline_ms: 150,
+            ..FChainConfig::default()
+        });
+        master.register_slave(fast);
+        master.register_slave(Arc::new(FaultySlave::new(
+            slow,
+            SlaveFault::Stall {
+                delay: Duration::from_millis(2000),
+            },
+        )));
+
+        let started = Instant::now();
+        let report = master.on_violation(990);
+        assert!(
+            started.elapsed() < Duration::from_millis(1500),
+            "diagnosis must not wait out the straggler"
+        );
+        assert_eq!(report.pinpointed, vec![ComponentId(0)]);
+        assert_eq!(
+            report.coverage.slaves,
+            vec![SlaveStatus::Ok, SlaveStatus::TimedOut]
+        );
+        assert_eq!(report.coverage.unreachable_components, vec![ComponentId(1)]);
+    }
+
+    #[test]
+    fn redundantly_monitored_component_is_not_a_blind_spot() {
+        // Both slaves monitor component 0; one crashes. The survivor's
+        // findings cover it, so it must not be listed as unreachable.
+        let a = Arc::new(SlaveDaemon::new(FChainConfig::default()));
+        feed(&a, 0, 1000, Some(940));
+        let b = Arc::new(SlaveDaemon::new(FChainConfig::default()));
+        feed(&b, 0, 1000, Some(940));
+        let mut master = Master::new(FChainConfig::default());
+        master.register_slave(a);
+        master.register_slave(Arc::new(FaultySlave::new(b, SlaveFault::Crash)));
+        let report = master.on_violation(990);
+        assert_eq!(report.coverage.unreachable_slaves, vec![1]);
+        assert!(report.coverage.unreachable_components.is_empty());
+        assert_eq!(report.pinpointed, vec![ComponentId(0)]);
+    }
+
+    #[test]
+    fn merge_findings_unions_changes() {
+        let change = |metric, onset| AbnormalChange {
+            metric,
+            change_at: onset,
+            onset,
+            prediction_error: 5.0,
+            expected_error: 1.0,
+            direction: Trend::Up,
+        };
+        let shared = change(MetricKind::Cpu, 100);
+        let merged = merge_findings(vec![
+            ComponentFinding {
+                id: ComponentId(1),
+                changes: vec![shared],
+            },
+            ComponentFinding {
+                id: ComponentId(0),
+                changes: vec![],
+            },
+            ComponentFinding {
+                id: ComponentId(1),
+                changes: vec![shared, change(MetricKind::Memory, 90)],
+            },
+        ]);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].id, ComponentId(0));
+        assert_eq!(merged[1].changes.len(), 2, "shared change deduped");
+        assert_eq!(merged[1].onset(), Some(90));
     }
 }

@@ -56,6 +56,7 @@ pub trait ValidationProbe: std::fmt::Debug {
 ///         ComponentFinding { id: ComponentId(1), changes: vec![change] },
 ///     ],
 ///     removed_by_validation: vec![],
+///     coverage: Default::default(),
 /// };
 /// validate_pinpointing(&mut report, &mut OnlyC1, 2);
 /// assert_eq!(report.pinpointed, vec![ComponentId(1)]);
@@ -75,6 +76,15 @@ pub fn validate_pinpointing(
             .find(|f| f.id == c)
             .map(|f| f.abnormal_metrics())
             .unwrap_or_default();
+        // A pinpointed component with no abnormal metric on record (no
+        // matching finding, or a finding whose changes were filtered)
+        // gives validation no resource to scale: there is no experiment
+        // whose outcome could refute it. Validation may only remove
+        // *refuted* alarms (§III.D), so such components stay pinpointed.
+        if metrics.is_empty() {
+            kept.push(c);
+            continue;
+        }
         let confirmed = metrics
             .into_iter()
             .take(max_metrics.max(1))
@@ -120,6 +130,7 @@ mod tests {
                 })
                 .collect(),
             removed_by_validation: vec![],
+            coverage: Default::default(),
         }
     }
 
@@ -173,6 +184,37 @@ mod tests {
         assert_eq!(probe.calls.len(), 2);
         assert!(r.pinpointed.is_empty());
         assert_eq!(r.removed_by_validation, vec![ComponentId(1)]);
+    }
+
+    #[test]
+    fn component_without_findings_stays_pinpointed() {
+        // Regression: a pinpointed component with no matching finding (or
+        // no abnormal metrics) used to be removed without the probe ever
+        // being called — `confirmed` was vacuously false. Validation can
+        // only remove alarms an actual scaling experiment refuted.
+        let mut r = report(vec![2, 9]); // 9 has no finding at all
+        let mut probe = Recorder {
+            approve: (ComponentId(2), MetricKind::Memory),
+            calls: vec![],
+        };
+        validate_pinpointing(&mut r, &mut probe, 2);
+        assert_eq!(r.pinpointed, vec![ComponentId(2), ComponentId(9)]);
+        assert!(r.removed_by_validation.is_empty());
+        // The probe was never consulted about the finding-less component.
+        assert!(probe.calls.iter().all(|(c, _)| *c != ComponentId(9)));
+    }
+
+    #[test]
+    fn component_with_empty_changes_stays_pinpointed() {
+        let mut r = report(vec![0]);
+        r.findings[0].changes.clear(); // finding exists but is empty
+        let mut probe = Recorder {
+            approve: (ComponentId(5), MetricKind::Cpu), // never approves
+            calls: vec![],
+        };
+        validate_pinpointing(&mut r, &mut probe, 2);
+        assert_eq!(r.pinpointed, vec![ComponentId(0)]);
+        assert!(probe.calls.is_empty(), "no metric, no experiment");
     }
 
     #[test]

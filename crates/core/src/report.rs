@@ -69,6 +69,81 @@ impl ComponentFinding {
     }
 }
 
+/// Health of one registered slave during a diagnosis fan-out.
+///
+/// The paper's testbed assumes every slave answers the master instantly
+/// and completely (§II.C); at cloud scale some of them are crashed,
+/// stalled or partitioned at exactly the moment the SLO violation fires.
+/// The master records what actually happened to each probe so a clean
+/// verdict can be told apart from a partial one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SlaveStatus {
+    /// Answered on the first attempt.
+    Ok,
+    /// Answered after `retries` transient failures.
+    Recovered {
+        /// How many retries were needed before the slave answered.
+        retries: u32,
+    },
+    /// Missed the fan-out deadline and was abandoned as a straggler.
+    TimedOut,
+    /// Failed every attempt (crashed or partitioned host).
+    Unreachable,
+}
+
+impl SlaveStatus {
+    /// Whether this slave's findings made it into the report.
+    pub fn answered(&self) -> bool {
+        matches!(self, SlaveStatus::Ok | SlaveStatus::Recovered { .. })
+    }
+}
+
+/// How much of the cloud a diagnosis actually covered.
+///
+/// A report with `coverage < 1.0` is a *degraded-mode* diagnosis: the
+/// components of the unreachable slaves produced no findings, so their
+/// absence from the propagation chain is absence of evidence, not
+/// evidence of health.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiagnosisCoverage {
+    /// Per registered slave, in registration order.
+    pub slaves: Vec<SlaveStatus>,
+    /// Indices (into `slaves`) of the slaves that never answered.
+    pub unreachable_slaves: Vec<usize>,
+    /// Components monitored by unreachable slaves and not covered by any
+    /// answering slave: the blind spot of this diagnosis.
+    pub unreachable_components: Vec<ComponentId>,
+    /// Fraction of registered slaves whose findings made it into the
+    /// report; `1.0` for a clean fan-out (and for a slave-less master).
+    pub coverage: f64,
+}
+
+impl Default for DiagnosisCoverage {
+    fn default() -> Self {
+        DiagnosisCoverage {
+            slaves: Vec::new(),
+            unreachable_slaves: Vec::new(),
+            unreachable_components: Vec::new(),
+            coverage: 1.0,
+        }
+    }
+}
+
+impl DiagnosisCoverage {
+    /// Full coverage over `n` slaves: the pre-degraded-mode assumption.
+    pub fn full(n: usize) -> Self {
+        DiagnosisCoverage {
+            slaves: vec![SlaveStatus::Ok; n],
+            ..DiagnosisCoverage::default()
+        }
+    }
+
+    /// Whether every registered slave answered.
+    pub fn is_complete(&self) -> bool {
+        self.unreachable_slaves.is_empty()
+    }
+}
+
 /// What the integrated diagnosis concluded.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Verdict {
@@ -94,6 +169,10 @@ pub struct DiagnosisReport {
     /// Components whose pinpointing was dropped by online validation
     /// (empty when validation was not run).
     pub removed_by_validation: Vec<ComponentId>,
+    /// Which slaves actually contributed findings. Defaults to full
+    /// coverage for diagnosis paths that never fan out over slaves (the
+    /// batch [`crate::FChain`] API).
+    pub coverage: DiagnosisCoverage,
 }
 
 impl DiagnosisReport {
@@ -184,10 +263,29 @@ mod tests {
                 },
             ],
             removed_by_validation: vec![],
+            coverage: DiagnosisCoverage::default(),
         };
         assert_eq!(
             report.propagation_chain(),
             vec![(ComponentId(2), 100), (ComponentId(0), 150)]
         );
+    }
+
+    #[test]
+    fn default_coverage_is_complete() {
+        let cov = DiagnosisCoverage::default();
+        assert!(cov.is_complete());
+        assert_eq!(cov.coverage, 1.0);
+        let full = DiagnosisCoverage::full(3);
+        assert!(full.is_complete());
+        assert_eq!(full.slaves, vec![SlaveStatus::Ok; 3]);
+    }
+
+    #[test]
+    fn slave_status_answered() {
+        assert!(SlaveStatus::Ok.answered());
+        assert!(SlaveStatus::Recovered { retries: 2 }.answered());
+        assert!(!SlaveStatus::TimedOut.answered());
+        assert!(!SlaveStatus::Unreachable.answered());
     }
 }

@@ -161,6 +161,12 @@ impl SlaveDaemon {
         self
     }
 
+    /// The components currently monitored, in id order — the registry
+    /// inventory a master records when the slave registers.
+    pub fn monitored_components(&self) -> Vec<ComponentId> {
+        self.shards.lock().keys().copied().collect()
+    }
+
     /// The number of (component, metric) series currently monitored.
     pub fn monitored_series(&self) -> usize {
         self.shard_list()

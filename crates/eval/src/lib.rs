@@ -15,6 +15,9 @@
 //!   precision and recall;
 //! * [`Campaign`] runs N seeded runs of one (application, fault) pair and
 //!   scores any set of [`fchain_core::Localizer`]s on them, in parallel;
+//! * [`DegradedCampaign`] sweeps the *slave-loss* rate — crashing a seeded
+//!   subset of the per-host slave daemons — and reports how precision,
+//!   recall and diagnosis coverage degrade;
 //! * [`render`] prints the text tables the benchmark targets emit.
 
 #![deny(missing_docs)]
@@ -22,6 +25,7 @@
 
 mod campaign;
 mod casegen;
+mod degraded;
 mod probe;
 mod roc;
 mod score;
@@ -30,6 +34,7 @@ pub mod render;
 
 pub use campaign::{Campaign, CampaignResult, CaseOutcome};
 pub use casegen::case_from_run;
+pub use degraded::{DegradedCampaign, DegradedPoint};
 pub use probe::OracleProbe;
 pub use roc::{RocCurve, RocPoint};
 pub use score::Counts;

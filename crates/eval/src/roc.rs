@@ -55,11 +55,15 @@ impl RocCurve {
                 precision: c.precision(),
             })
             .collect();
+        // `Counts::precision`/`recall` document finite values for empty
+        // denominators, but the sort must stay total even for points
+        // built from degenerate sweeps (an operating point that never
+        // pinpoints, a campaign with no faulty component): `total_cmp`
+        // orders every f64, NaN included, instead of panicking.
         points.sort_by(|a, b| {
             a.recall
-                .partial_cmp(&b.recall)
-                .expect("finite recall")
-                .then(a.precision.partial_cmp(&b.precision).expect("finite"))
+                .total_cmp(&b.recall)
+                .then(a.precision.total_cmp(&b.precision))
         });
         RocCurve { points }
     }
@@ -89,9 +93,7 @@ impl RocCurve {
 
     /// The point with the best F1 score, if any.
     pub fn best_f1(&self) -> Option<&RocPoint> {
-        self.points
-            .iter()
-            .max_by(|a, b| f1(a).partial_cmp(&f1(b)).expect("finite f1"))
+        self.points.iter().max_by(|a, b| f1(a).total_cmp(&f1(b)))
     }
 
     /// Whether this curve dominates `other`: for every point of `other`
@@ -152,6 +154,60 @@ mod tests {
             (0.9, counts(2, 0, 8)),   // P=1.0 R=0.2, F1≈0.33
         ]);
         assert_eq!(curve.best_f1().unwrap().parameter, 0.5);
+    }
+
+    #[test]
+    fn empty_pinpoint_operating_points_are_finite_and_sortable() {
+        // tp+fp == 0 (scheme never pinpoints) and tp+fn == 0 (no faulty
+        // component in any case) both have a zero denominator; the curve
+        // must build, sort totally and summarize without panicking.
+        let curve = RocCurve::from_counts([
+            (0.9, counts(0, 0, 10)), // nothing pinpointed: P=1 (vacuous), R=0
+            (0.5, counts(5, 5, 5)),
+            (0.1, counts(0, 0, 0)), // nothing to find, nothing found: P=1, R=0
+        ]);
+        assert_eq!(curve.points().len(), 3);
+        for p in curve.points() {
+            assert!(p.precision.is_finite(), "precision NaN at {}", p.parameter);
+            assert!(p.recall.is_finite(), "recall NaN at {}", p.parameter);
+        }
+        let recalls: Vec<f64> = curve.points().iter().map(|p| p.recall).collect();
+        assert!(recalls.windows(2).all(|w| w[0] <= w[1]));
+        assert!(curve.auc().is_finite());
+        // The only point with tp > 0 wins F1.
+        assert_eq!(curve.best_f1().unwrap().parameter, 0.5);
+    }
+
+    #[test]
+    fn curve_of_only_degenerate_points_does_not_panic() {
+        let curve = RocCurve::from_counts([(0.1, counts(0, 0, 0)), (0.2, counts(0, 0, 0))]);
+        assert_eq!(curve.points().len(), 2);
+        assert!(curve.best_f1().is_some());
+        assert!(curve.auc().is_finite());
+    }
+
+    #[test]
+    fn nan_points_sort_last_instead_of_panicking() {
+        // A hand-built curve (deserialized from a foreign BENCH file, say)
+        // can carry NaN; ordering must stay total.
+        let mut curve = RocCurve::from_counts([(0.5, counts(5, 5, 5))]);
+        let _ = &curve; // from_counts points are finite by construction
+        curve = RocCurve {
+            points: vec![
+                RocPoint {
+                    parameter: 0.1,
+                    recall: f64::NAN,
+                    precision: 0.5,
+                },
+                RocPoint {
+                    parameter: 0.2,
+                    recall: 0.4,
+                    precision: 0.9,
+                },
+            ],
+        };
+        assert!(curve.best_f1().is_some());
+        assert!(curve.dominates(&RocCurve::default()));
     }
 
     #[test]

@@ -56,8 +56,13 @@ impl Counts {
         self.fn_ += other.fn_;
     }
 
-    /// `Ntp / (Ntp + Nfp)`; defined as 1 when nothing was pinpointed
-    /// (no claims, no wrong claims).
+    /// `Ntp / (Ntp + Nfp)`.
+    ///
+    /// The empty denominator (`tp + fp == 0`, the scheme pinpointed
+    /// nothing at this operating point) is **defined as 1.0**: no claims
+    /// means no wrong claims. The result is always a finite value in
+    /// `[0, 1]`, never NaN — downstream consumers ([`crate::RocCurve`]
+    /// sorting, JSON summaries) rely on this.
     pub fn precision(&self) -> f64 {
         if self.tp + self.fp == 0 {
             1.0
@@ -66,9 +71,12 @@ impl Counts {
         }
     }
 
-    /// `Ntp / (Ntp + Nfn)`; defined as 0 when there was nothing to find
-    /// and nothing found... (the denominator is zero only if no case had a
-    /// faulty component, which does not occur in the campaigns).
+    /// `Ntp / (Ntp + Nfn)`.
+    ///
+    /// The empty denominator (`tp + fn == 0`, no case carried a faulty
+    /// component — e.g. a pure workload-surge campaign) is **defined as
+    /// 0.0**: there was nothing to find, so no credit is claimable. The
+    /// result is always a finite value in `[0, 1]`, never NaN.
     pub fn recall(&self) -> f64 {
         if self.tp + self.fn_ == 0 {
             0.0
@@ -141,6 +149,27 @@ mod tests {
         );
         assert_eq!(a.precision(), 0.5);
         assert_eq!(a.recall(), 0.5);
+    }
+
+    #[test]
+    fn empty_denominators_stay_finite() {
+        let empty = Counts::default();
+        assert_eq!(empty.precision(), 1.0);
+        assert_eq!(empty.recall(), 0.0);
+        let only_fn = Counts {
+            tp: 0,
+            fp: 0,
+            fn_: 7,
+        };
+        assert_eq!(only_fn.precision(), 1.0);
+        assert_eq!(only_fn.recall(), 0.0);
+        let only_fp = Counts {
+            tp: 0,
+            fp: 7,
+            fn_: 0,
+        };
+        assert_eq!(only_fp.precision(), 0.0);
+        assert_eq!(only_fp.recall(), 0.0);
     }
 
     #[test]

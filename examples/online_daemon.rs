@@ -70,8 +70,8 @@ fn main() {
         .copied()
         .collect();
     let mut master = Master::new(FChainConfig::default());
-    master.register_slave(Arc::clone(&host_a));
-    master.register_slave(Arc::clone(&host_b));
+    master.register_slave(host_a.clone());
+    master.register_slave(host_b.clone());
     master.set_dependencies(discover(&normal, &DiscoveryConfig::default()));
 
     // SLO violation: diagnose from the warm daemons — no retraining.

@@ -5,7 +5,7 @@
 
 use fchain::core::master::Master;
 use fchain::core::slave::{MetricSample, SlaveDaemon};
-use fchain::core::FChainConfig;
+use fchain::core::{FChainConfig, FaultySlave, SlaveEndpoint, SlaveFault};
 use fchain::eval::case_from_run;
 use fchain::metrics::MetricKind;
 use fchain::sim::{AppKind, FaultKind, RunConfig, Simulator};
@@ -16,6 +16,18 @@ use std::sync::Arc;
 /// master-level fan-out is exercised too), and returns the wired master
 /// plus the violation tick.
 fn master_from_seeded_run(app: AppKind, fault: FaultKind, seed: u64) -> Option<(Master, u64)> {
+    master_from_seeded_run_wrapped(app, fault, seed, false)
+}
+
+/// Like [`master_from_seeded_run`], optionally wrapping every slave in a
+/// no-op [`FaultySlave`] — the endpoint indirection with fault injection
+/// disabled must be invisible in the reports.
+fn master_from_seeded_run_wrapped(
+    app: AppKind,
+    fault: FaultKind,
+    seed: u64,
+    wrap: bool,
+) -> Option<(Master, u64)> {
     let run = Simulator::new(RunConfig::new(app, fault, seed)).run();
     let case = case_from_run(&run, 100)?;
     let hosts: Vec<Arc<SlaveDaemon>> = (0..2)
@@ -36,7 +48,14 @@ fn master_from_seeded_run(app: AppKind, fault: FaultKind, seed: u64) -> Option<(
     }
     let mut master = Master::new(FChainConfig::default());
     for host in hosts {
-        master.register_slave(host);
+        if wrap {
+            master.register_slave(Arc::new(FaultySlave::new(
+                host as Arc<dyn SlaveEndpoint>,
+                SlaveFault::None,
+            )));
+        } else {
+            master.register_slave(host);
+        }
     }
     if let Some(deps) = case.discovered_deps.clone() {
         master.set_dependencies(deps);
@@ -83,4 +102,34 @@ fn hadoop_reports_are_identical_across_paths() {
 #[test]
 fn systems_reports_are_identical_across_paths() {
     assert_parity(AppKind::SystemS, FaultKind::MemLeak, &[500, 501, 502, 503]);
+}
+
+/// With fault injection disabled, the `FaultySlave`-wrapped master must
+/// produce bit-identical reports to the plain one, on both paths.
+#[test]
+fn disabled_fault_injection_is_invisible() {
+    let mut compared = 0;
+    for &seed in &[900u64, 901, 902, 903] {
+        let Some((plain, violation_at)) =
+            master_from_seeded_run(AppKind::Rubis, FaultKind::CpuHog, seed)
+        else {
+            continue;
+        };
+        let (wrapped, _) =
+            master_from_seeded_run_wrapped(AppKind::Rubis, FaultKind::CpuHog, seed, true)
+                .expect("same seed must produce the same case");
+        let reference = plain.on_violation(violation_at);
+        assert_eq!(
+            reference,
+            wrapped.on_violation(violation_at),
+            "seed {seed}: a no-op FaultySlave changed the parallel report"
+        );
+        assert_eq!(
+            reference,
+            wrapped.on_violation_sequential(violation_at),
+            "seed {seed}: a no-op FaultySlave changed the sequential report"
+        );
+        compared += 1;
+    }
+    assert!(compared >= 3, "only {compared} seeded cases fired");
 }
