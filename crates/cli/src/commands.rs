@@ -2,11 +2,15 @@
 
 use crate::args::Args;
 use fchain_baselines::{DependencyScheme, HistogramScheme, NetMedic, Pal, TopologyScheme};
-use fchain_core::{FChain, FChainConfig, Localizer, Verdict};
+use fchain_core::master::Master;
+use fchain_core::slave::{MetricSample, SlaveDaemon};
+use fchain_core::{FChain, FChainConfig, Localizer, PipelineSnapshot, Verdict};
 use fchain_eval::{case_from_run, render, Campaign, DegradedCampaign, OracleProbe};
 use fchain_metrics::MetricKind;
+use fchain_obs as obs;
 use fchain_sim::{AppKind, FaultKind, RunConfig, RunRecord, Simulator, Workload as _};
 use serde_json::json;
+use std::sync::Arc;
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
 
@@ -72,6 +76,19 @@ fn default_lookback(fault: FaultKind) -> u64 {
     } else {
         100
     }
+}
+
+/// Handles `--obs-json <PATH>`: dumps `snapshot` to the file. A no-op
+/// without the flag. With instrumentation compiled out (built without the
+/// `obs` feature) the snapshot is present but all-zero.
+fn write_obs_json(args: &Args, snapshot: &PipelineSnapshot) -> CliResult {
+    let Some(path) = args.get("obs-json") else {
+        return Ok(());
+    };
+    let rendered = serde_json::to_string_pretty(snapshot)?;
+    std::fs::write(path, rendered + "\n").map_err(|e| format!("cannot write {path:?}: {e}"))?;
+    eprintln!("wrote observability snapshot to {path}");
+    Ok(())
 }
 
 /// `fchain run` — simulate and summarize.
@@ -152,6 +169,7 @@ pub fn diagnose(args: &Args) -> CliResult {
     } else {
         fchain.diagnose(&case)
     };
+    write_obs_json(args, &obs::snapshot())?;
 
     if args.has("json") {
         println!(
@@ -242,6 +260,7 @@ pub fn compare(args: &Args) -> CliResult {
     let schemes: Vec<&(dyn Localizer + Sync)> =
         vec![&fchain, &histogram, &netmedic, &topology, &dependency, &pal];
     let results = campaign.evaluate(&schemes);
+    write_obs_json(args, &obs::snapshot())?;
     print!(
         "{}",
         render::campaign_block(
@@ -288,6 +307,7 @@ pub fn degraded(args: &Args) -> CliResult {
         config,
     };
     let points = campaign.evaluate();
+    write_obs_json(args, &obs::snapshot())?;
 
     if args.has("json") || args.get("out").is_some() {
         let rendered = serde_json::to_string_pretty(&campaign.to_json(&points))?;
@@ -311,13 +331,18 @@ pub fn degraded(args: &Args) -> CliResult {
         campaign.config.slave_deadline_ms,
         campaign.config.slave_retries
     );
+    // "slave cov" is the fraction of registered *slaves* that answered
+    // the fan-out (DiagnosisCoverage::coverage) — NOT the fraction of
+    // components: a slave fails as a whole, taking all of its components
+    // with it. See DiagnosisCoverage::component_coverage for the
+    // component-level view.
     println!(
-        "  {:>9}  {:>9}  {:>6}  {:>8}  {:>10}  {:>11}",
-        "loss rate", "precision", "recall", "coverage", "diagnoses", "unreachable"
+        "  {:>9}  {:>9}  {:>6}  {:>9}  {:>10}  {:>11}",
+        "loss rate", "precision", "recall", "slave cov", "diagnoses", "unreachable"
     );
     for p in &points {
         println!(
-            "  {:>9.2}  {:>9.2}  {:>6.2}  {:>8.2}  {:>10}  {:>11}",
+            "  {:>9.2}  {:>9.2}  {:>6.2}  {:>9.2}  {:>10}  {:>11}",
             p.loss_rate,
             p.counts.precision(),
             p.counts.recall(),
@@ -359,6 +384,133 @@ pub fn surge(args: &Args) -> CliResult {
         "-> {}/{runs} runs correctly blame no component",
         external + silent
     );
+    Ok(())
+}
+
+/// Renders a nanosecond quantity with a readable unit.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// `fchain obs` — run one fully instrumented distributed diagnosis
+/// (slave daemons + master fan-out + online validation) and print the
+/// per-stage timings and pipeline counters it recorded.
+pub fn obs(args: &Args) -> CliResult {
+    let app = parse_app(args.get("app").unwrap_or("rubis"))?;
+    let fault = parse_fault(args.get("fault").unwrap_or("cpuhog"))?;
+    let seed = args.get_parsed("seed", 900u64)?;
+    let duration = args.get_parsed("duration", 3600u64)?;
+    let lookback = args.get_parsed("lookback", default_lookback(fault))?;
+    let n_hosts = args.get_parsed("hosts", 2usize)?.max(1);
+
+    let run = Simulator::new(RunConfig::new(app, fault, seed).with_duration(duration)).run();
+    let Some(case) = case_from_run(&run, lookback) else {
+        return Err("the SLO never fired; nothing to observe (try another seed)".into());
+    };
+
+    // The deployed topology: components spread round-robin over slave
+    // daemons, the master fanning out to them — so the slave-side spans
+    // (selection, CUSUM, FFT, rollback) and master-side spans (fan-out,
+    // merge, pinpoint, validation) all fire.
+    let hosts: Vec<Arc<SlaveDaemon>> = (0..n_hosts)
+        .map(|_| Arc::new(SlaveDaemon::new(FChainConfig::default())))
+        .collect();
+    for (i, component) in case.components.iter().enumerate() {
+        let host = &hosts[i % hosts.len()];
+        for kind in MetricKind::ALL {
+            for (tick, value) in component.metric(kind).iter() {
+                host.ingest(MetricSample {
+                    tick,
+                    component: component.id,
+                    kind,
+                    value,
+                });
+            }
+        }
+    }
+    let mut master = Master::new(FChainConfig::default());
+    for host in hosts {
+        master.register_slave(host);
+    }
+    if let Some(deps) = case.discovered_deps.clone() {
+        master.set_dependencies(deps);
+    }
+    let mut probe = OracleProbe::new(&run.oracle);
+    let report = master.on_violation_validated_observed(case.violation_at, &mut probe);
+    let snapshot = report.snapshot.clone().unwrap_or_default();
+    write_obs_json(args, &snapshot)?;
+
+    if args.has("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&json!({
+                "app": app.name(),
+                "fault": fault.name(),
+                "seed": seed,
+                "violation_at": case.violation_at,
+                "verdict": format!("{:?}", report.verdict),
+                "pinpointed": report.pinpointed,
+                "removed_by_validation": report.removed_by_validation,
+                "instrumented": obs::enabled(),
+                "snapshot": snapshot,
+            }))?
+        );
+        return Ok(());
+    }
+
+    println!(
+        "pipeline snapshot — {app} / {fault}, seed {seed}, t_v={}, {} hosts, W={lookback}",
+        case.violation_at, n_hosts
+    );
+    println!(
+        "verdict {:?}, pinpointed {:?}",
+        report.verdict, report.pinpointed
+    );
+    if !report.removed_by_validation.is_empty() {
+        println!(
+            "removed by online validation: {:?}",
+            report.removed_by_validation
+        );
+    }
+    if !obs::enabled() {
+        println!(
+            "\nnote: instrumentation is compiled out (built without the `obs` \
+             feature); every stage and counter below reads zero"
+        );
+    }
+    println!("\nstages (this diagnosis only):");
+    println!(
+        "  {:<17} {:>7}  {:>10}  {:>10}  {:>10}",
+        "stage", "count", "total", "mean", "max"
+    );
+    for s in &snapshot.stages {
+        if s.count == 0 {
+            continue;
+        }
+        println!(
+            "  {:<17} {:>7}  {:>10}  {:>10}  {:>10}",
+            s.stage,
+            s.count,
+            fmt_ns(s.total_ns),
+            fmt_ns(s.mean_ns().round() as u64),
+            fmt_ns(s.max_ns)
+        );
+    }
+    println!("\ncounters:");
+    for c in &snapshot.counters {
+        if c.value == 0 {
+            continue;
+        }
+        println!("  {:<25} {:>9}", c.counter, c.value);
+    }
     Ok(())
 }
 

@@ -7,6 +7,7 @@
 //! fchain compare  --app systems --fault conc_memleak [--runs 30] [--lookback 100]
 //! fchain degraded --app rubis --fault cpuhog [--rates 0,0.25,0.5] [--hosts 4] [--json]
 //! fchain surge    --app rubis [--seed 1] [--runs 10]
+//! fchain obs      [--app rubis] [--fault cpuhog] [--seed 900] [--hosts 2] [--json]
 //! fchain list
 //! ```
 
@@ -28,6 +29,7 @@ COMMANDS:
     compare   score FChain against the baseline schemes over a campaign
     degraded  sweep the slave-loss rate and report accuracy/coverage degradation
     surge     demonstrate external-factor (workload change) detection
+    obs       run one instrumented diagnosis and print the pipeline snapshot
     list      print the available applications, faults and schemes
 
 COMMON FLAGS:
@@ -39,6 +41,8 @@ COMMON FLAGS:
     --runs <N>                      campaign size (default 30)
     --validate                      also run online pinpointing validation
     --replay-csv <PATH>             replay a recorded `tick,intensity` workload
+    --obs-json <PATH>               dump the observability snapshot (stage timings,
+                                    counters) accumulated by the command to a file
     --json                          machine-readable output
 
 DEGRADED-MODE FLAGS (fchain degraded):
@@ -64,6 +68,7 @@ fn main() -> ExitCode {
         Some("compare") => commands::compare(&args),
         Some("degraded") => commands::degraded(&args),
         Some("surge") => commands::surge(&args),
+        Some("obs") => commands::obs(&args),
         Some("list") => commands::list(),
         Some("help") | None => {
             println!("{USAGE}");

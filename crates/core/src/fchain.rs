@@ -123,6 +123,7 @@ impl FChain {
             // The batch API analyzes every component in-process: there is
             // no slave fan-out that could fail, so coverage is complete.
             coverage: crate::report::DiagnosisCoverage::default(),
+            snapshot: None,
         }
     }
 

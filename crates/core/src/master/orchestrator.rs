@@ -27,6 +27,7 @@ use crate::master::validation::{validate_pinpointing, ValidationProbe};
 use crate::report::{ComponentFinding, DiagnosisCoverage, DiagnosisReport, SlaveStatus};
 use fchain_deps::DependencyGraph;
 use fchain_metrics::{ComponentId, Tick};
+use fchain_obs as obs;
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -116,11 +117,17 @@ impl Master {
         sequential: bool,
     ) -> SlaveOutcome {
         for attempt in 0..=retries {
+            obs::count(obs::Counter::SlaveQueries, 1);
+            if attempt > 0 {
+                obs::count(obs::Counter::SlaveRetries, 1);
+            }
+            let rpc_span = obs::time(obs::Stage::SlaveRpc);
             let result = if sequential {
                 slave.collect_sequential(violation_at)
             } else {
                 slave.collect(violation_at)
             };
+            drop(rpc_span);
             match result {
                 Ok(findings) => {
                     let status = if attempt == 0 {
@@ -131,6 +138,7 @@ impl Master {
                     return SlaveOutcome { findings, status };
                 }
                 Err(SlaveError::Unreachable) => {
+                    obs::count(obs::Counter::SlaveUnreachable, 1);
                     return SlaveOutcome {
                         findings: Vec::new(),
                         status: SlaveStatus::Unreachable,
@@ -142,6 +150,7 @@ impl Master {
                 Err(SlaveError::Transient) => {}
             }
         }
+        obs::count(obs::Counter::SlaveUnreachable, 1);
         SlaveOutcome {
             findings: Vec::new(),
             status: SlaveStatus::Unreachable,
@@ -161,6 +170,7 @@ impl Master {
         violation_at: Tick,
         sequential: bool,
     ) -> (Vec<ComponentFinding>, DiagnosisCoverage) {
+        let _fan_out_span = obs::time(obs::Stage::MasterFanOut);
         let retries = self.config.slave_retries;
         let backoff = Duration::from_millis(self.config.slave_backoff_ms);
         let deadline = (self.config.slave_deadline_ms > 0)
@@ -204,10 +214,15 @@ impl Master {
             if !outcome.status.answered() {
                 unreachable_slaves.push(i);
             }
+            if outcome.status == SlaveStatus::TimedOut {
+                obs::count(obs::Counter::SlaveTimeouts, 1);
+            }
             slaves.push(outcome.status);
             findings.extend(outcome.findings);
         }
+        let merge_span = obs::time(obs::Stage::MasterMerge);
         let findings = merge_findings(findings);
+        drop(merge_span);
 
         // The blind spot: components monitored only by slaves that never
         // answered. A component an answering slave also covers is not
@@ -310,18 +325,21 @@ impl Master {
         findings: Vec<ComponentFinding>,
         coverage: DiagnosisCoverage,
     ) -> DiagnosisReport {
+        let pinpoint_span = obs::time(obs::Stage::MasterPinpoint);
         let (verdict, pinpointed) = pinpoint(&PinpointInput {
             findings: &findings,
             dependencies: self.dependencies.as_ref(),
             concurrency_threshold: self.config.concurrency_threshold,
             external_quorum: self.config.external_quorum,
         });
+        drop(pinpoint_span);
         DiagnosisReport {
             verdict,
             pinpointed,
             findings,
             removed_by_validation: Vec::new(),
             coverage,
+            snapshot: None,
         }
     }
 
@@ -340,6 +358,32 @@ impl Master {
     ) -> DiagnosisReport {
         let mut report = self.on_violation(violation_at);
         validate_pinpointing(&mut report, probe, 2);
+        report
+    }
+
+    /// Like [`Master::on_violation`], but the report carries a
+    /// [`fchain_obs::PipelineSnapshot`] of exactly this diagnosis's stage
+    /// timings and counters (the delta against the process-global
+    /// registry). The payload is identical to the unobserved report —
+    /// snapshots are excluded from report equality.
+    pub fn on_violation_observed(&self, violation_at: Tick) -> DiagnosisReport {
+        let before = obs::snapshot();
+        let mut report = self.on_violation(violation_at);
+        report.snapshot = Some(obs::snapshot().delta_since(&before));
+        report
+    }
+
+    /// [`Master::on_violation_validated`] with the diagnosis's own
+    /// [`fchain_obs::PipelineSnapshot`] attached (see
+    /// [`Master::on_violation_observed`]).
+    pub fn on_violation_validated_observed(
+        &self,
+        violation_at: Tick,
+        probe: &mut dyn ValidationProbe,
+    ) -> DiagnosisReport {
+        let before = obs::snapshot();
+        let mut report = self.on_violation_validated(violation_at, probe);
+        report.snapshot = Some(obs::snapshot().delta_since(&before));
         report
     }
 }

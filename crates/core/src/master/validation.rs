@@ -9,6 +9,7 @@
 
 use crate::report::DiagnosisReport;
 use fchain_metrics::{ComponentId, MetricKind};
+use fchain_obs as obs;
 
 /// The actuator validation drives: scale a resource on a component and
 /// observe whether the SLO improves.
@@ -57,6 +58,7 @@ pub trait ValidationProbe: std::fmt::Debug {
 ///     ],
 ///     removed_by_validation: vec![],
 ///     coverage: Default::default(),
+///     snapshot: None,
 /// };
 /// validate_pinpointing(&mut report, &mut OnlyC1, 2);
 /// assert_eq!(report.pinpointed, vec![ComponentId(1)]);
@@ -67,6 +69,7 @@ pub fn validate_pinpointing(
     probe: &mut dyn ValidationProbe,
     max_metrics: usize,
 ) {
+    let _span = obs::time(obs::Stage::MasterValidation);
     let mut kept = Vec::new();
     let mut removed = Vec::new();
     for &c in &report.pinpointed {
@@ -85,16 +88,17 @@ pub fn validate_pinpointing(
             kept.push(c);
             continue;
         }
-        let confirmed = metrics
-            .into_iter()
-            .take(max_metrics.max(1))
-            .any(|m| probe.scale_and_observe(c, m));
+        let confirmed = metrics.into_iter().take(max_metrics.max(1)).any(|m| {
+            obs::count(obs::Counter::ValidationProbes, 1);
+            probe.scale_and_observe(c, m)
+        });
         if confirmed {
             kept.push(c);
         } else {
             removed.push(c);
         }
     }
+    obs::count(obs::Counter::ValidationRemoved, removed.len() as u64);
     report.pinpointed = kept;
     report.removed_by_validation = removed;
 }
@@ -131,6 +135,7 @@ mod tests {
                 .collect(),
             removed_by_validation: vec![],
             coverage: Default::default(),
+            snapshot: None,
         }
     }
 

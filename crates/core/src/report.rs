@@ -2,6 +2,7 @@
 
 use fchain_detect::Trend;
 use fchain_metrics::{ComponentId, MetricKind, Tick};
+use fchain_obs::PipelineSnapshot;
 use serde::{Deserialize, Serialize};
 
 /// One abnormal change selected on one metric of one component.
@@ -113,8 +114,13 @@ pub struct DiagnosisCoverage {
     /// Components monitored by unreachable slaves and not covered by any
     /// answering slave: the blind spot of this diagnosis.
     pub unreachable_components: Vec<ComponentId>,
-    /// Fraction of registered slaves whose findings made it into the
-    /// report; `1.0` for a clean fan-out (and for a slave-less master).
+    /// Fraction of registered **slaves** (not components) whose findings
+    /// made it into the report: `answered / registered`; `1.0` for a clean
+    /// fan-out (and for a slave-less master). Slaves are the unit because
+    /// a slave fails as a whole — the master cannot tell which of a dead
+    /// slave's components would have reported. For the component-level
+    /// blind spot, use [`DiagnosisCoverage::component_coverage`] /
+    /// `unreachable_components`.
     pub coverage: f64,
 }
 
@@ -142,6 +148,18 @@ impl DiagnosisCoverage {
     pub fn is_complete(&self) -> bool {
         self.unreachable_slaves.is_empty()
     }
+
+    /// The *component*-level analogue of [`coverage`](Self::coverage):
+    /// the fraction of `total_components` not in the diagnosis blind spot.
+    /// Differs from the slave fraction whenever slaves monitor unequal
+    /// component counts; `1.0` when `total_components == 0`.
+    pub fn component_coverage(&self, total_components: usize) -> f64 {
+        if total_components == 0 {
+            return 1.0;
+        }
+        let blind = self.unreachable_components.len().min(total_components);
+        (total_components - blind) as f64 / total_components as f64
+    }
 }
 
 /// What the integrated diagnosis concluded.
@@ -158,7 +176,7 @@ pub enum Verdict {
 }
 
 /// The complete output of one FChain diagnosis.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DiagnosisReport {
     /// Overall conclusion.
     pub verdict: Verdict,
@@ -173,6 +191,26 @@ pub struct DiagnosisReport {
     /// coverage for diagnosis paths that never fan out over slaves (the
     /// batch [`crate::FChain`] API).
     pub coverage: DiagnosisCoverage,
+    /// Per-stage timings and counters observed while producing this
+    /// report (`None` unless requested via an `*_observed` entry point or
+    /// the `obs` CLI paths). Timings are wall-clock and therefore
+    /// nondeterministic — this field is deliberately excluded from
+    /// `PartialEq` so observed and unobserved diagnoses of the same data
+    /// still compare equal.
+    pub snapshot: Option<PipelineSnapshot>,
+}
+
+/// Equality over the diagnosis *payload* only: `snapshot` carries
+/// wall-clock timings and is ignored, keeping report comparison (and the
+/// determinism suite) meaningful for instrumented runs.
+impl PartialEq for DiagnosisReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.verdict == other.verdict
+            && self.pinpointed == other.pinpointed
+            && self.findings == other.findings
+            && self.removed_by_validation == other.removed_by_validation
+            && self.coverage == other.coverage
+    }
 }
 
 impl DiagnosisReport {
@@ -264,6 +302,7 @@ mod tests {
             ],
             removed_by_validation: vec![],
             coverage: DiagnosisCoverage::default(),
+            snapshot: None,
         };
         assert_eq!(
             report.propagation_chain(),
@@ -279,6 +318,39 @@ mod tests {
         let full = DiagnosisCoverage::full(3);
         assert!(full.is_complete());
         assert_eq!(full.slaves, vec![SlaveStatus::Ok; 3]);
+    }
+
+    #[test]
+    fn snapshot_is_excluded_from_report_equality() {
+        let base = DiagnosisReport {
+            verdict: Verdict::NoAnomaly,
+            pinpointed: vec![],
+            findings: vec![],
+            removed_by_validation: vec![],
+            coverage: DiagnosisCoverage::default(),
+            snapshot: None,
+        };
+        let mut observed = base.clone();
+        observed.snapshot = Some(PipelineSnapshot::empty());
+        assert_eq!(base, observed, "snapshot must not affect equality");
+        let mut different = base.clone();
+        different.pinpointed = vec![ComponentId(7)];
+        assert_ne!(base, different);
+    }
+
+    #[test]
+    fn component_coverage_counts_components_not_slaves() {
+        // One slave monitoring 1 component answered, one monitoring 3
+        // crashed: slave coverage is 1/2 but component coverage is 1/4.
+        let cov = DiagnosisCoverage {
+            slaves: vec![SlaveStatus::Ok, SlaveStatus::Unreachable],
+            unreachable_slaves: vec![1],
+            unreachable_components: vec![ComponentId(1), ComponentId(2), ComponentId(3)],
+            coverage: 0.5,
+        };
+        assert_eq!(cov.component_coverage(4), 0.25);
+        assert_eq!(DiagnosisCoverage::default().component_coverage(0), 1.0);
+        assert_eq!(DiagnosisCoverage::full(3).component_coverage(5), 1.0);
     }
 
     #[test]

@@ -18,6 +18,7 @@ use crate::report::{AbnormalChange, ComponentFinding};
 use crate::slave::selection::select_abnormal_changes;
 use fchain_metrics::{ComponentId, MetricKind, RingBuffer, Tick};
 use fchain_model::OnlineLearner;
+use fchain_obs as obs;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -248,6 +249,8 @@ impl SlaveDaemon {
         comp: &ComponentState,
         violation_at: Tick,
     ) -> Option<ComponentFinding> {
+        let _span = obs::time(obs::Stage::SlaveAnalyze);
+        obs::count(obs::Counter::ComponentsAnalyzed, 1);
         let mut changes: Vec<AbnormalChange> = Vec::new();
         let mut seen = false;
         for kind in MetricKind::ALL {

@@ -218,6 +218,50 @@ mod tests {
     }
 
     #[test]
+    fn onset_at_window_start_is_reachable() {
+        // The whole window is one ramp from index 0: the first change
+        // point sits at the very start of the window, and rolling back
+        // from deep inside the ramp must land exactly there without
+        // indexing before the window.
+        let xs: Vec<f64> = (0..100).map(|i| 2.5 * i as f64).collect();
+        let cps = vec![cp(0), cp(35), cp(70)];
+        assert_eq!(rollback_onset(&xs, &cps, &cps[2], 0.1), 0);
+        // Selecting the window-start point itself is a fixed point.
+        assert_eq!(rollback_onset(&xs, &cps, &cps[0], 0.1), 0);
+    }
+
+    #[test]
+    fn monotone_series_rolls_all_the_way_back() {
+        // On a strictly monotone series every segment has the same slope,
+        // so adjacent tangents are always close and the walk never stops
+        // early: however many change points CUSUM scattered along the
+        // ramp, the onset is the earliest one.
+        let xs: Vec<f64> = (0..120).map(|i| 1.7 * i as f64).collect();
+        let cps: Vec<ChangePoint> = (1..=10).map(|k| cp(k * 10)).collect();
+        let last = cps.len() - 1;
+        assert_eq!(rollback_onset(&xs, &cps, &cps[last], 0.1), 10);
+    }
+
+    #[test]
+    fn series_shorter_than_the_tangent_window_is_handled() {
+        // The window is far shorter than SEGMENT_CAP (30): every slope
+        // estimate must clamp to the available samples instead of reading
+        // out of bounds, and the result is still a listed change point.
+        let xs: Vec<f64> = (0..8).map(|i| 3.0 * i as f64).collect();
+        assert!(xs.len() < SEGMENT_CAP);
+        let cps = vec![cp(1), cp(4), cp(6)];
+        let onset = rollback_onset(&xs, &cps, &cps[2], 0.1);
+        assert!(cps.iter().any(|c| c.index == onset));
+        assert!(onset <= 6);
+        // Monotone + short: the walk still reaches the earliest point.
+        assert_eq!(onset, 1);
+        // Degenerate two-sample "window".
+        let tiny = vec![0.0, 5.0];
+        let cps = vec![cp(0), cp(1)];
+        assert_eq!(rollback_onset(&tiny, &cps, &cps[1], 0.1), 0);
+    }
+
+    #[test]
     #[should_panic(expected = "selected change point")]
     fn foreign_selected_point_panics() {
         let xs = flat_then_ramp();

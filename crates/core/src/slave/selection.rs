@@ -6,6 +6,7 @@ use crate::ComponentCase;
 use fchain_detect::{magnitude_outliers, ChangePoint, CusumDetector};
 use fchain_metrics::{fft, smooth, stats, MetricKind, Tick};
 use fchain_model::OnlineLearner;
+use fchain_obs as obs;
 
 /// Analyzes one component: for each of its six metrics, detect change
 /// points in the look-back window, filter them down to abnormal ones, and
@@ -121,6 +122,8 @@ pub fn select_abnormal_changes(
     lookback: u64,
     config: &FChainConfig,
 ) -> Option<AbnormalChange> {
+    let _selection_span = obs::time(obs::Stage::SlaveSelection);
+    obs::count(obs::Counter::MetricsAnalyzed, 1);
     let detector = CusumDetector::new(config.cusum.clone());
     let n = hist.len();
     debug_assert_eq!(hist.len(), errors.len(), "errors must align with samples");
@@ -162,11 +165,19 @@ pub fn select_abnormal_changes(
         config.smoothing_half
     };
     let window_smooth = smooth::moving_average(window_raw, half);
-    let change_points = detector.detect(&window_smooth);
+    let change_points = {
+        let _span = obs::time(obs::Stage::SlaveCusum);
+        detector.detect(&window_smooth)
+    };
+    obs::count(
+        obs::Counter::ChangePointCandidates,
+        change_points.len() as u64,
+    );
     if change_points.is_empty() {
         return None;
     }
     let outliers = magnitude_outliers(&change_points, &window_smooth, &config.outlier);
+    obs::count(obs::Counter::ChangePointOutliers, outliers.len() as u64);
 
     // 3. Predictability filter. The burst-adaptive expectation is anchored
     // just before the *first* change point of the window: anything after it
@@ -181,6 +192,7 @@ pub fn select_abnormal_changes(
     // whole normal history) guards against an unusually calm head.
     let q2 = 2 * config.burst_window as usize;
     let head_end = (window_start + q2).min(n - 1);
+    let fft_span = obs::time(obs::Stage::SlaveFft);
     let head = fft::burst_magnitude(
         &hist[window_start..=head_end],
         config.high_freq_fraction,
@@ -192,6 +204,7 @@ pub fn select_abnormal_changes(
     let expected = expected_error(hist, anchor, config)
         .min(head)
         .max(error_floor);
+    drop(fft_span);
     let mut abnormal: Vec<(ChangePoint, f64, f64)> = Vec::new();
     for cp in &outliers {
         let abs_idx = window_start + cp.index;
@@ -206,14 +219,21 @@ pub fn select_abnormal_changes(
             abnormal.push((*cp, real, expected));
         }
     }
+    obs::count(obs::Counter::ChangePointsAccepted, abnormal.len() as u64);
+    obs::count(
+        obs::Counter::ChangePointsRejected,
+        (outliers.len() - abnormal.len()) as u64,
+    );
     // 4. Earliest abnormal change point wins; roll it back to the onset.
     let (cp, real, expected) = abnormal.into_iter().min_by_key(|(cp, _, _)| cp.index)?;
+    let rollback_span = obs::time(obs::Stage::SlaveRollback);
     let onset_idx = super::rollback::rollback_onset(
         &window_smooth,
         &change_points,
         &cp,
         config.tangent_epsilon,
     );
+    drop(rollback_span);
     // Saturating: a caller-supplied `violation_at` smaller than the window
     // (possible for synthetic or truncated histories) must clamp to tick 0
     // rather than underflow.

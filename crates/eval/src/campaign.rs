@@ -5,6 +5,7 @@ use crate::casegen::case_from_run;
 use crate::score::Counts;
 use fchain_core::{CaseData, Localizer};
 use fchain_metrics::{ComponentId, Tick};
+use fchain_obs as obs;
 use fchain_sim::{AppKind, FaultKind, RunConfig, RunRecord, Simulator};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -136,10 +137,13 @@ impl Campaign {
                     if i >= self.runs {
                         break;
                     }
+                    let _run_span = obs::time(obs::Stage::EvalRun);
+                    obs::count(obs::Counter::EvalRuns, 1);
                     let run = self.run_record(i);
                     let Some(case) = case_from_run(&run, self.lookback) else {
                         continue; // the SLO never fired; no diagnosis
                     };
+                    obs::count(obs::Counter::EvalDiagnoses, 1);
                     for (s, slot) in schemes.iter().zip(&per_scheme) {
                         let pinpointed = apply(*s, &case, &run);
                         let mut guard = slot.lock().expect("poisoned campaign slot");

@@ -1,0 +1,185 @@
+//! Lock-free fixed-bucket latency histograms.
+//!
+//! One [`Histogram`] is an array of 64 log2 buckets plus count / sum /
+//! min / max, all `AtomicU64`: recording is a handful of relaxed atomic
+//! RMW operations with no allocation and no lock, so concurrent writers
+//! never lose a sample (they may tear *across* fields under concurrent
+//! reads, which snapshots tolerate — totals are exact once writers
+//! quiesce).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log2 buckets: bucket `i` holds values whose floor(log2) is
+/// `i` (bucket 0 additionally holds 0), so the full `u64` range maps.
+pub const BUCKETS: usize = 64;
+
+/// The log2 bucket a value falls into.
+#[inline]
+pub const fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        (63 - value.leading_zeros()) as usize
+    }
+}
+
+/// A mergeable, lock-free latency histogram with fixed log2 buckets.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    /// `u64::MAX` until the first sample lands.
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram (usable in `static` position).
+    pub const fn new() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value. Lock-free; safe from any number of threads.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Folds another histogram into this one (used when draining
+    /// thread-local histograms into a shared one).
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min
+            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Clears every field back to the empty state.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Copies the current state into the plain snapshot fields
+    /// `(buckets, count, sum, min, max)`; an empty histogram reports
+    /// `min = 0`.
+    pub fn load(&self) -> (Vec<u64>, u64, u64, u64, u64) {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count = self.count.load(Ordering::Relaxed);
+        let min = if count == 0 {
+            0
+        } else {
+            self.min.load(Ordering::Relaxed)
+        };
+        (
+            buckets,
+            count,
+            self.sum.load(Ordering::Relaxed),
+            min,
+            self.max.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_mapping_is_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(1023), 9);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn record_tracks_count_sum_min_max() {
+        let h = Histogram::new();
+        for v in [5u64, 100, 1, 7] {
+            h.record(v);
+        }
+        let (buckets, count, sum, min, max) = h.load();
+        assert_eq!(count, 4);
+        assert_eq!(sum, 113);
+        assert_eq!(min, 1);
+        assert_eq!(max, 100);
+        assert_eq!(buckets.iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero_min() {
+        let (buckets, count, sum, min, max) = Histogram::new().load();
+        assert_eq!((count, sum, min, max), (0, 0, 0, 0));
+        assert!(buckets.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn merge_from_combines_everything() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(10);
+        b.record(2);
+        b.record(4000);
+        a.merge_from(&b);
+        let (_, count, sum, min, max) = a.load();
+        assert_eq!(count, 3);
+        assert_eq!(sum, 4012);
+        assert_eq!(min, 2);
+        assert_eq!(max, 4000);
+    }
+
+    #[test]
+    fn reset_empties_the_histogram() {
+        let h = Histogram::new();
+        h.record(42);
+        h.reset();
+        let (_, count, sum, min, max) = h.load();
+        assert_eq!((count, sum, min, max), (0, 0, 0, 0));
+    }
+}

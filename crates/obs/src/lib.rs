@@ -1,0 +1,252 @@
+//! Zero-allocation instrumentation for the FChain diagnosis pipeline.
+//!
+//! The crate is a static registry of atomic [`Counter`]s and per-[`Stage`]
+//! log2 latency [`Histogram`]s, plus scoped [`Span`] timers that record on
+//! drop. Design constraints, in order:
+//!
+//! 1. **Hot-path cost ~zero.** Recording is a few relaxed atomic RMWs on
+//!    `static` storage — no allocation, no locks, no syscalls. With the
+//!    `enabled` feature off, every recording function is an inline empty
+//!    body and the whole crate compiles away.
+//! 2. **No `#[cfg]` at call sites.** Downstream code calls
+//!    [`time`]/[`count`]/[`snapshot`] unconditionally; this crate owns the
+//!    feature dispatch. [`snapshot`] returns the full (all-zero) shape even
+//!    when compiled out, so report schemas never change.
+//! 3. **Determinism-safe.** Instrumentation observes the pipeline, never
+//!    steers it: snapshots are excluded from report equality, and a runtime
+//!    kill switch ([`set_enabled`]) lets one binary measure its own
+//!    overhead.
+//!
+//! ```
+//! use fchain_obs as obs;
+//!
+//! {
+//!     let _span = obs::time(obs::Stage::SlaveRollback);
+//!     // ... work being timed ...
+//! } // span records its duration here
+//! obs::count(obs::Counter::ChangePointsAccepted, 1);
+//!
+//! let snap = obs::snapshot();
+//! assert_eq!(snap.stages.len(), obs::Stage::ALL.len());
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod hist;
+#[cfg(feature = "enabled")]
+mod registry;
+pub mod snapshot;
+pub mod stage;
+
+pub use hist::{bucket_of, Histogram, BUCKETS};
+pub use snapshot::{CounterSnapshot, PipelineSnapshot, StageSnapshot};
+pub use stage::{Counter, Stage};
+
+#[cfg(feature = "enabled")]
+use std::time::Instant;
+
+/// Whether instrumentation is live: the `enabled` feature is compiled in
+/// *and* the runtime switch ([`set_enabled`]) is on.
+#[inline]
+pub fn enabled() -> bool {
+    #[cfg(feature = "enabled")]
+    {
+        registry::enabled()
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        false
+    }
+}
+
+/// Flips the runtime kill switch (a no-op when the feature is compiled
+/// out). On by default. Used by the `obs_overhead` bench to compare an
+/// instrumented and an uninstrumented run of the same binary.
+pub fn set_enabled(on: bool) {
+    #[cfg(feature = "enabled")]
+    registry::set_enabled(on);
+    #[cfg(not(feature = "enabled"))]
+    let _ = on;
+}
+
+/// Adds `by` to a pipeline counter.
+#[inline]
+pub fn count(counter: Counter, by: u64) {
+    #[cfg(feature = "enabled")]
+    registry::count(counter, by);
+    #[cfg(not(feature = "enabled"))]
+    let _ = (counter, by);
+}
+
+/// Records one span duration (in ns) against a stage directly — for call
+/// sites that already measured the time themselves.
+#[inline]
+pub fn record_ns(stage: Stage, ns: u64) {
+    #[cfg(feature = "enabled")]
+    registry::record_ns(stage, ns);
+    #[cfg(not(feature = "enabled"))]
+    let _ = (stage, ns);
+}
+
+/// A scoped stage timer: created by [`time`], records the elapsed
+/// wall-clock duration into the stage's histogram when dropped.
+///
+/// Durations are measured with [`std::time::Instant`], which is monotonic,
+/// so a span can never report a negative or wrapping duration; values are
+/// clamped into `u64` nanoseconds.
+#[derive(Debug)]
+#[must_use = "a span records on drop; binding it to `_` drops it immediately"]
+pub struct Span {
+    #[cfg(feature = "enabled")]
+    inner: Option<(Stage, Instant)>,
+}
+
+impl Span {
+    /// The span's duration so far in ns (0 when instrumentation is off).
+    /// The span still records the *full* duration on drop.
+    pub fn elapsed_ns(&self) -> u64 {
+        #[cfg(feature = "enabled")]
+        if let Some((_, start)) = self.inner {
+            return clamp_ns(start.elapsed().as_nanos());
+        }
+        0
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        #[cfg(feature = "enabled")]
+        if let Some((stage, start)) = self.inner.take() {
+            registry::record_ns(stage, clamp_ns(start.elapsed().as_nanos()));
+        }
+    }
+}
+
+#[cfg(feature = "enabled")]
+#[inline]
+fn clamp_ns(ns: u128) -> u64 {
+    ns.min(u64::MAX as u128) as u64
+}
+
+/// Starts timing `stage`; the returned [`Span`] records on drop. When
+/// instrumentation is off (feature or runtime switch) the span is inert
+/// and costs nothing beyond one atomic load.
+#[inline]
+pub fn time(stage: Stage) -> Span {
+    #[cfg(feature = "enabled")]
+    {
+        Span {
+            inner: registry::enabled().then(|| (stage, Instant::now())),
+        }
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = stage;
+        Span {}
+    }
+}
+
+/// Freezes the whole registry into a serializable [`PipelineSnapshot`].
+/// With instrumentation compiled out this returns the all-zero snapshot
+/// with the identical shape, so consumers never branch on the feature.
+pub fn snapshot() -> PipelineSnapshot {
+    #[cfg(feature = "enabled")]
+    {
+        registry::snapshot()
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        PipelineSnapshot::empty()
+    }
+}
+
+/// Clears every counter and histogram back to zero. Tests and the CLI use
+/// this; the pipeline itself never resets (deltas are taken with
+/// [`PipelineSnapshot::delta_since`] instead, which is race-free).
+pub fn reset() {
+    #[cfg(feature = "enabled")]
+    registry::reset();
+}
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+
+    // The registry is process-global, so the tests below run under one
+    // lock to avoid cross-talk; each works on deltas from its own baseline
+    // where possible and uses `reset()` only behind the lock.
+    use std::sync::Mutex;
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn span_records_on_drop() {
+        let _guard = LOCK.lock().unwrap();
+        reset();
+        let before = snapshot();
+        {
+            let _span = time(Stage::SlaveRollback);
+            std::hint::black_box(17u64);
+        }
+        let delta = snapshot().delta_since(&before);
+        assert_eq!(delta.stage(Stage::SlaveRollback).unwrap().count, 1);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let _guard = LOCK.lock().unwrap();
+        let before = snapshot();
+        count(Counter::SlaveQueries, 2);
+        count(Counter::SlaveQueries, 3);
+        let delta = snapshot().delta_since(&before);
+        assert_eq!(delta.counter(Counter::SlaveQueries), 5);
+    }
+
+    #[test]
+    fn kill_switch_suppresses_recording() {
+        let _guard = LOCK.lock().unwrap();
+        let before = snapshot();
+        set_enabled(false);
+        assert!(!enabled());
+        count(Counter::EvalRuns, 10);
+        {
+            let _span = time(Stage::EvalRun);
+        }
+        record_ns(Stage::EvalRun, 999);
+        set_enabled(true);
+        let delta = snapshot().delta_since(&before);
+        assert_eq!(delta.counter(Counter::EvalRuns), 0);
+        assert_eq!(delta.stage(Stage::EvalRun).unwrap().count, 0);
+    }
+
+    #[test]
+    fn reset_zeroes_the_registry() {
+        let _guard = LOCK.lock().unwrap();
+        count(Counter::EvalDiagnoses, 1);
+        record_ns(Stage::EvalRun, 123);
+        reset();
+        assert!(snapshot().is_empty());
+    }
+}
+
+#[cfg(all(test, not(feature = "enabled")))]
+mod disabled_tests {
+    use super::*;
+
+    #[test]
+    fn everything_is_inert_but_shaped() {
+        assert!(!enabled());
+        set_enabled(true); // still off: the feature is compiled out
+        assert!(!enabled());
+        count(Counter::EvalRuns, 10);
+        record_ns(Stage::EvalRun, 999);
+        {
+            let span = time(Stage::EvalRun);
+            assert_eq!(span.elapsed_ns(), 0);
+        }
+        let snap = snapshot();
+        assert!(snap.is_empty());
+        assert_eq!(snap.stages.len(), Stage::ALL.len());
+        assert_eq!(snap.counters.len(), Counter::ALL.len());
+    }
+}

@@ -1,0 +1,70 @@
+//! The static registry backing every counter and stage histogram.
+//!
+//! This module only exists when the `enabled` feature is on; the crate
+//! root dispatches to it (or to inline no-ops) so call sites never need
+//! `#[cfg]`. All storage is `static` and atomic — recording is
+//! allocation-free and lock-free from any thread.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use crate::hist::Histogram;
+use crate::snapshot::PipelineSnapshot;
+use crate::stage::{Counter, Stage};
+
+/// Runtime kill switch, on by default. Lets one binary compare
+/// instrumented vs uninstrumented runs (the `obs_overhead` bench) without
+/// compiling the pipeline twice.
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+static COUNTERS: [AtomicU64; Counter::ALL.len()] =
+    [const { AtomicU64::new(0) }; Counter::ALL.len()];
+
+static STAGES: [Histogram; Stage::ALL.len()] = [const { Histogram::new() }; Stage::ALL.len()];
+
+#[inline]
+pub(crate) fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+pub(crate) fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn count(counter: Counter, by: u64) {
+    if enabled() {
+        COUNTERS[counter.index()].fetch_add(by, Ordering::Relaxed);
+    }
+}
+
+#[inline]
+pub(crate) fn record_ns(stage: Stage, ns: u64) {
+    if enabled() {
+        STAGES[stage.index()].record(ns);
+    }
+}
+
+pub(crate) fn snapshot() -> PipelineSnapshot {
+    let mut snap = PipelineSnapshot::empty();
+    for (slot, out) in STAGES.iter().zip(snap.stages.iter_mut()) {
+        let (buckets, count, sum, min, max) = slot.load();
+        out.buckets = buckets;
+        out.count = count;
+        out.total_ns = sum;
+        out.min_ns = min;
+        out.max_ns = max;
+    }
+    for (slot, out) in COUNTERS.iter().zip(snap.counters.iter_mut()) {
+        out.value = slot.load(Ordering::Relaxed);
+    }
+    snap
+}
+
+pub(crate) fn reset() {
+    for slot in &STAGES {
+        slot.reset();
+    }
+    for slot in &COUNTERS {
+        slot.store(0, Ordering::Relaxed);
+    }
+}

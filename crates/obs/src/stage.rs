@@ -1,0 +1,185 @@
+//! The span and counter vocabulary of the diagnosis pipeline.
+//!
+//! Both enums are closed: the registry backs each variant with a fixed
+//! static slot, so recording never allocates and never takes a lock.
+
+/// A span-timed pipeline stage. Each stage owns one latency histogram in
+/// the static registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// One metric's full abnormal-change selection pass
+    /// (`select_abnormal_changes`).
+    SlaveSelection,
+    /// CUSUM + bootstrap change point detection on the smoothed window.
+    SlaveCusum,
+    /// Burst-FFT synthesis of the expected prediction error.
+    SlaveFft,
+    /// Tangent-based rollback of the selected change point to its onset.
+    SlaveRollback,
+    /// One component's whole-shard analysis inside the slave daemon.
+    SlaveAnalyze,
+    /// One master→slave collect RPC (per attempt, retries included).
+    SlaveRpc,
+    /// The master's full violation fan-out (all slaves queried, coverage
+    /// assembled).
+    MasterFanOut,
+    /// Merging duplicate per-component findings after the fan-out.
+    MasterMerge,
+    /// Integrated pinpointing over the merged findings.
+    MasterPinpoint,
+    /// Online pinpointing validation (all scaling probes).
+    MasterValidation,
+    /// One seeded campaign run: simulate, build the case, score every
+    /// scheme.
+    EvalRun,
+}
+
+impl Stage {
+    /// Every stage, in registry order.
+    pub const ALL: [Stage; 11] = [
+        Stage::SlaveSelection,
+        Stage::SlaveCusum,
+        Stage::SlaveFft,
+        Stage::SlaveRollback,
+        Stage::SlaveAnalyze,
+        Stage::SlaveRpc,
+        Stage::MasterFanOut,
+        Stage::MasterMerge,
+        Stage::MasterPinpoint,
+        Stage::MasterValidation,
+        Stage::EvalRun,
+    ];
+
+    /// The stage's slot in the static registry.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case wire name (the `stage` field of
+    /// [`crate::StageSnapshot`]).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Stage::SlaveSelection => "slave_selection",
+            Stage::SlaveCusum => "slave_cusum",
+            Stage::SlaveFft => "slave_fft",
+            Stage::SlaveRollback => "slave_rollback",
+            Stage::SlaveAnalyze => "slave_analyze",
+            Stage::SlaveRpc => "slave_rpc",
+            Stage::MasterFanOut => "master_fan_out",
+            Stage::MasterMerge => "master_merge",
+            Stage::MasterPinpoint => "master_pinpoint",
+            Stage::MasterValidation => "master_validation",
+            Stage::EvalRun => "eval_run",
+        }
+    }
+}
+
+/// A monotonically increasing pipeline event counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Counter {
+    /// Metric series that entered the selection pipeline.
+    MetricsAnalyzed,
+    /// Components analyzed by a slave (batch or daemon path).
+    ComponentsAnalyzed,
+    /// Change point candidates produced by CUSUM + bootstrap.
+    ChangePointCandidates,
+    /// Candidates surviving the magnitude-outlier filter.
+    ChangePointOutliers,
+    /// Outliers accepted by the predictability filter (abnormal).
+    ChangePointsAccepted,
+    /// Outliers rejected by the predictability filter (learnable bursts).
+    ChangePointsRejected,
+    /// Master→slave collect attempts (first tries and retries).
+    SlaveQueries,
+    /// Retries after a transient slave error.
+    SlaveRetries,
+    /// Slaves abandoned at the fan-out deadline.
+    SlaveTimeouts,
+    /// Slaves that failed every attempt.
+    SlaveUnreachable,
+    /// Validation scaling experiments performed.
+    ValidationProbes,
+    /// Pinpointed components removed by validation.
+    ValidationRemoved,
+    /// Seeded campaign runs simulated.
+    EvalRuns,
+    /// Campaign runs whose SLO fired and were diagnosed.
+    EvalDiagnoses,
+}
+
+impl Counter {
+    /// Every counter, in registry order.
+    pub const ALL: [Counter; 14] = [
+        Counter::MetricsAnalyzed,
+        Counter::ComponentsAnalyzed,
+        Counter::ChangePointCandidates,
+        Counter::ChangePointOutliers,
+        Counter::ChangePointsAccepted,
+        Counter::ChangePointsRejected,
+        Counter::SlaveQueries,
+        Counter::SlaveRetries,
+        Counter::SlaveTimeouts,
+        Counter::SlaveUnreachable,
+        Counter::ValidationProbes,
+        Counter::ValidationRemoved,
+        Counter::EvalRuns,
+        Counter::EvalDiagnoses,
+    ];
+
+    /// The counter's slot in the static registry.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case wire name (the `counter` field of
+    /// [`crate::CounterSnapshot`]).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Counter::MetricsAnalyzed => "metrics_analyzed",
+            Counter::ComponentsAnalyzed => "components_analyzed",
+            Counter::ChangePointCandidates => "change_point_candidates",
+            Counter::ChangePointOutliers => "change_point_outliers",
+            Counter::ChangePointsAccepted => "change_points_accepted",
+            Counter::ChangePointsRejected => "change_points_rejected",
+            Counter::SlaveQueries => "slave_queries",
+            Counter::SlaveRetries => "slave_retries",
+            Counter::SlaveTimeouts => "slave_timeouts",
+            Counter::SlaveUnreachable => "slave_unreachable",
+            Counter::ValidationProbes => "validation_probes",
+            Counter::ValidationRemoved => "validation_removed",
+            Counter::EvalRuns => "eval_runs",
+            Counter::EvalDiagnoses => "eval_diagnoses",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_indices_are_dense_and_ordered() {
+        for (i, stage) in Stage::ALL.iter().enumerate() {
+            assert_eq!(stage.index(), i);
+        }
+    }
+
+    #[test]
+    fn counter_indices_are_dense_and_ordered() {
+        for (i, counter) in Counter::ALL.iter().enumerate() {
+            assert_eq!(counter.index(), i);
+        }
+    }
+
+    #[test]
+    fn wire_names_are_unique() {
+        let mut names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
+        names.extend(Counter::ALL.iter().map(|c| c.name()));
+        let mut deduped = names.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(deduped.len(), names.len(), "duplicate wire name");
+    }
+}

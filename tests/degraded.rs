@@ -231,3 +231,38 @@ fn validation_never_probes_unreachable_components() {
     assert_eq!(report.removed_by_validation, vec![ComponentId(0)]);
     assert!(report.pinpointed.is_empty());
 }
+
+/// Regression for the answered-fraction definition:
+/// `DiagnosisCoverage::coverage` is the fraction of *slaves* that
+/// answered the fan-out, NOT the fraction of components — the two
+/// diverge exactly when slaves monitor unequal component counts, and the
+/// component-level view lives in `component_coverage` /
+/// `unreachable_components` instead.
+#[test]
+fn coverage_is_a_slave_fraction_not_a_component_fraction() {
+    // One healthy slave with a single (faulty) component; one crashed
+    // slave holding three components.
+    let small = Arc::new(SlaveDaemon::new(FChainConfig::default()));
+    feed(&small, 0, 1000, Some(940));
+    let big = Arc::new(SlaveDaemon::new(FChainConfig::default()));
+    for c in 1..4 {
+        feed(&big, c, 1000, None);
+    }
+    let master = master_with_faults(
+        &[small, big],
+        &[SlaveFault::None, SlaveFault::Crash],
+        degraded_config(),
+    );
+    let report = master.on_violation(990);
+    let cov = &report.coverage;
+    assert_eq!(cov.slaves, vec![SlaveStatus::Ok, SlaveStatus::Unreachable]);
+    // 1 of 2 slaves answered ...
+    assert_eq!(cov.coverage, 0.5);
+    // ... but only 1 of the 4 components was actually analyzed.
+    assert_eq!(
+        cov.unreachable_components,
+        vec![ComponentId(1), ComponentId(2), ComponentId(3)]
+    );
+    assert_eq!(cov.component_coverage(4), 0.25);
+    assert_eq!(report.pinpointed, vec![ComponentId(0)]);
+}
