@@ -23,8 +23,8 @@
 
 use criterion::{black_box, Criterion};
 use fchain_core::slave::rollback::rollback_onset;
-use fchain_core::slave::select_abnormal_changes;
-use fchain_core::{AbnormalChange, FChainConfig};
+use fchain_core::slave::{select_abnormal_changes, MetricSample, SlaveDaemon};
+use fchain_core::{AbnormalChange, AnalysisEngine, FChainConfig};
 use fchain_detect::{magnitude_outliers, ChangePoint, CusumConfig, Trend};
 use fchain_eval::case_from_run;
 use fchain_metrics::fft::{next_pow2, Complex};
@@ -422,6 +422,73 @@ where
         .collect()
 }
 
+// ---------------------------------------------------------------------------
+// Engine comparison: batch vs streaming daemons on the on-violation path.
+// ---------------------------------------------------------------------------
+
+/// One engine-comparison scenario: two identically-fed daemons (batch and
+/// streaming engines) plus the violation tick to analyze at.
+struct EngineScenario {
+    label: &'static str,
+    app: AppKind,
+    fault: FaultKind,
+    seed: u64,
+    lookback: u64,
+    violation_at: Tick,
+    components: usize,
+    batch: SlaveDaemon,
+    streaming: SlaveDaemon,
+}
+
+/// Builds the scenario from the first seed (starting at `seed_from`)
+/// whose simulated run produces an SLO violation at the given look-back —
+/// deterministic, since the search order is fixed.
+fn build_engine_scenario(
+    label: &'static str,
+    app: AppKind,
+    fault: FaultKind,
+    seed_from: u64,
+    lookback: u64,
+) -> EngineScenario {
+    let (seed, case) = (seed_from..seed_from + 50)
+        .find_map(|seed| {
+            let run = Simulator::new(RunConfig::new(app, fault, seed)).run();
+            case_from_run(&run, lookback).map(|case| (seed, case))
+        })
+        .expect("no seed in range produced a violation");
+    let mut batch_config = FChainConfig::with_lookback(lookback);
+    batch_config.engine = AnalysisEngine::Batch;
+    let mut streaming_config = FChainConfig::with_lookback(lookback);
+    streaming_config.engine = AnalysisEngine::Streaming;
+    let batch = SlaveDaemon::new(batch_config);
+    let streaming = SlaveDaemon::new(streaming_config);
+    for daemon in [&batch, &streaming] {
+        for component in &case.components {
+            for kind in MetricKind::ALL {
+                for (tick, value) in component.metric(kind).iter() {
+                    daemon.ingest(MetricSample {
+                        tick,
+                        component: component.id,
+                        kind,
+                        value,
+                    });
+                }
+            }
+        }
+    }
+    EngineScenario {
+        label,
+        app,
+        fault,
+        seed,
+        lookback,
+        violation_at: case.violation_at,
+        components: case.components.len(),
+        batch,
+        streaming,
+    }
+}
+
 fn main() {
     let config = FChainConfig::default();
     let lookback = 100u64;
@@ -459,6 +526,43 @@ fn main() {
         "the fault case must produce findings"
     );
 
+    // Engine comparison scenarios: the paper's default window (W=100) on
+    // the System S CPU hog (7 components / 42 metrics, so the healthy
+    // majority the streaming screen skips is representative), and the
+    // slow-manifesting disk-hog window (W=500) on Hadoop. Both daemons
+    // are asserted to produce bit-identical findings before either is
+    // timed.
+    let scenarios = [
+        build_engine_scenario(
+            "systems_cpuhog_w100",
+            AppKind::SystemS,
+            FaultKind::CpuHog,
+            900,
+            100,
+        ),
+        build_engine_scenario(
+            "hadoop_diskhog_w500",
+            AppKind::Hadoop,
+            FaultKind::ConcurrentDiskHog,
+            40,
+            500,
+        ),
+    ];
+    for s in &scenarios {
+        let batch_findings = s.batch.analyze_all_sequential(s.violation_at);
+        let streaming_findings = s.streaming.analyze_all_sequential(s.violation_at);
+        assert_eq!(
+            batch_findings, streaming_findings,
+            "{}: engines diverge before timing",
+            s.label
+        );
+        assert!(
+            batch_findings.iter().any(|f| f.onset().is_some()),
+            "{}: the fault case must produce findings",
+            s.label
+        );
+    }
+
     let mut criterion = Criterion::default()
         .sample_size(30)
         .warm_up_time(Duration::from_secs(2))
@@ -473,6 +577,17 @@ fn main() {
     criterion.bench_function("diagnosis_latency/rubis_4c/optimized_parallel", |b| {
         b.iter(|| black_box(run_parallel(black_box(&tasks), &new_select)))
     });
+    for s in &scenarios {
+        let violation_at = s.violation_at;
+        criterion.bench_function(
+            &format!("diagnosis_latency/engines/{}/batch", s.label),
+            |b| b.iter(|| black_box(s.batch.analyze_all(black_box(violation_at)))),
+        );
+        criterion.bench_function(
+            &format!("diagnosis_latency/engines/{}/streaming", s.label),
+            |b| b.iter(|| black_box(s.streaming.analyze_all(black_box(violation_at)))),
+        );
+    }
     criterion.final_summary();
 
     let summaries = criterion.summaries();
@@ -489,6 +604,39 @@ fn main() {
     let host_parallelism = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+
+    let engines: Vec<_> = scenarios
+        .iter()
+        .map(|s| {
+            let batch_ns = median(&format!("{}/batch", s.label));
+            let streaming_ns = median(&format!("{}/streaming", s.label));
+            json!({
+                "scenario": s.label,
+                "app": format!("{:?}", s.app),
+                "fault": format!("{:?}", s.fault),
+                "seed": s.seed,
+                "lookback": s.lookback,
+                "violation_at": s.violation_at,
+                "components": s.components,
+                "batch_median_ns": batch_ns,
+                "streaming_median_ns": streaming_ns,
+                "streaming_speedup": batch_ns / streaming_ns,
+            })
+        })
+        .collect();
+    // Regression guard: the streaming engine moving work to ingest time
+    // must never be slower at violation time than the batch reference on
+    // the default-window scenario. A regression fails the bench (and the
+    // CI job running it) outright.
+    {
+        let w100_batch = median("systems_cpuhog_w100/batch");
+        let w100_streaming = median("systems_cpuhog_w100/streaming");
+        assert!(
+            w100_streaming <= w100_batch,
+            "streaming on-violation median ({w100_streaming:.0} ns) regressed above \
+             the batch median ({w100_batch:.0} ns) at W=100"
+        );
+    }
 
     let payload = json!({
         "bench": "diagnosis_latency",
@@ -519,6 +667,7 @@ fn main() {
             "optimized_parallel_vs_pre_pr": pre / par,
             "parallel_vs_sequential": seq / par,
         },
+        "engines": engines,
     });
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_diagnosis.json");
     let rendered = serde_json::to_string_pretty(&payload).expect("serializable payload");

@@ -4,7 +4,7 @@ use crate::args::Args;
 use fchain_baselines::{DependencyScheme, HistogramScheme, NetMedic, Pal, TopologyScheme};
 use fchain_core::master::Master;
 use fchain_core::slave::{MetricSample, SlaveDaemon};
-use fchain_core::{FChain, FChainConfig, Localizer, PipelineSnapshot, Verdict};
+use fchain_core::{AnalysisEngine, FChain, FChainConfig, Localizer, PipelineSnapshot, Verdict};
 use fchain_eval::{case_from_run, render, Campaign, DegradedCampaign, OracleProbe};
 use fchain_metrics::MetricKind;
 use fchain_obs as obs;
@@ -78,6 +78,14 @@ fn default_lookback(fault: FaultKind) -> u64 {
     }
 }
 
+/// `--engine batch|streaming` (default streaming).
+fn parse_engine(args: &Args) -> Result<AnalysisEngine, Box<dyn std::error::Error>> {
+    match args.get("engine") {
+        None => Ok(AnalysisEngine::default()),
+        Some(v) => Ok(v.parse::<AnalysisEngine>()?),
+    }
+}
+
 /// Handles `--obs-json <PATH>`: dumps `snapshot` to the file. A no-op
 /// without the flag. With instrumentation compiled out (built without the
 /// `obs` feature) the snapshot is present but all-zero.
@@ -93,6 +101,9 @@ fn write_obs_json(args: &Args, snapshot: &PipelineSnapshot) -> CliResult {
 
 /// `fchain run` — simulate and summarize.
 pub fn run(args: &Args) -> CliResult {
+    // Accepted for flag symmetry with `diagnose`: the simulation itself
+    // never analyzes, so the engine only shows up in the JSON echo.
+    let engine = parse_engine(args)?;
     let run = build_run(args)?;
     let json_out = args.has("json");
     if json_out {
@@ -106,6 +117,7 @@ pub fn run(args: &Args) -> CliResult {
                 "violation_at": run.violation_at,
                 "components": run.model.components.iter().map(|c| &c.name).collect::<Vec<_>>(),
                 "packets": run.packets.len(),
+                "engine": engine.to_string(),
             }))?
         );
         return Ok(());
@@ -156,13 +168,17 @@ fn mean(xs: &[f64]) -> f64 {
 
 /// `fchain diagnose` — run FChain on one simulated violation.
 pub fn diagnose(args: &Args) -> CliResult {
+    let engine = parse_engine(args)?;
     let run = build_run(args)?;
     let fault = run.fault.kind;
     let lookback = args.get_parsed("lookback", default_lookback(fault))?;
     let Some(case) = case_from_run(&run, lookback) else {
         return Err("the SLO never fired; nothing to diagnose (try another seed)".into());
     };
-    let fchain = FChain::default();
+    let fchain = FChain::new(FChainConfig {
+        engine,
+        ..FChainConfig::default()
+    });
     let report = if args.has("validate") {
         let mut probe = OracleProbe::new(&run.oracle);
         fchain.diagnose_validated(&case, &mut probe)
@@ -176,6 +192,7 @@ pub fn diagnose(args: &Args) -> CliResult {
             "{}",
             serde_json::to_string_pretty(&json!({
                 "verdict": format!("{:?}", report.verdict),
+                "engine": report.engine.to_string(),
                 "pinpointed": report.pinpointed,
                 "removed_by_validation": report.removed_by_validation,
                 "truth": run.fault.targets,
@@ -199,7 +216,10 @@ pub fn diagnose(args: &Args) -> CliResult {
             .collect::<Vec<_>>(),
         case.violation_at
     );
-    println!("\nabnormal change propagation chain (W={lookback}):");
+    println!(
+        "\nabnormal change propagation chain (W={lookback}, {} engine):",
+        report.engine
+    );
     for (c, onset) in report.propagation_chain() {
         let name = &run.model.components[c.index()].name;
         let mark = if run.fault.targets.contains(&c) {
@@ -293,6 +313,7 @@ pub fn degraded(args: &Args) -> CliResult {
         slave_deadline_ms: args.get_parsed("slave-deadline-ms", 0u64)?,
         slave_retries: args.get_parsed("slave-retries", 2u32)?,
         slave_backoff_ms: args.get_parsed("slave-backoff-ms", 1u64)?,
+        engine: parse_engine(args)?,
         ..FChainConfig::default()
     };
     let campaign = DegradedCampaign {
@@ -410,6 +431,11 @@ pub fn obs(args: &Args) -> CliResult {
     let duration = args.get_parsed("duration", 3600u64)?;
     let lookback = args.get_parsed("lookback", default_lookback(fault))?;
     let n_hosts = args.get_parsed("hosts", 2usize)?.max(1);
+    let engine = parse_engine(args)?;
+    let config = FChainConfig {
+        engine,
+        ..FChainConfig::default()
+    };
 
     let run = Simulator::new(RunConfig::new(app, fault, seed).with_duration(duration)).run();
     let Some(case) = case_from_run(&run, lookback) else {
@@ -421,7 +447,7 @@ pub fn obs(args: &Args) -> CliResult {
     // (selection, CUSUM, FFT, rollback) and master-side spans (fan-out,
     // merge, pinpoint, validation) all fire.
     let hosts: Vec<Arc<SlaveDaemon>> = (0..n_hosts)
-        .map(|_| Arc::new(SlaveDaemon::new(FChainConfig::default())))
+        .map(|_| Arc::new(SlaveDaemon::new(config.clone())))
         .collect();
     for (i, component) in case.components.iter().enumerate() {
         let host = &hosts[i % hosts.len()];
@@ -436,7 +462,7 @@ pub fn obs(args: &Args) -> CliResult {
             }
         }
     }
-    let mut master = Master::new(FChainConfig::default());
+    let mut master = Master::new(config);
     for host in hosts {
         master.register_slave(host);
     }
@@ -456,6 +482,7 @@ pub fn obs(args: &Args) -> CliResult {
                 "fault": fault.name(),
                 "seed": seed,
                 "violation_at": case.violation_at,
+                "engine": report.engine.to_string(),
                 "verdict": format!("{:?}", report.verdict),
                 "pinpointed": report.pinpointed,
                 "removed_by_validation": report.removed_by_validation,
@@ -467,7 +494,8 @@ pub fn obs(args: &Args) -> CliResult {
     }
 
     println!(
-        "pipeline snapshot — {app} / {fault}, seed {seed}, t_v={}, {} hosts, W={lookback}",
+        "pipeline snapshot — {app} / {fault}, seed {seed}, t_v={}, {} hosts, W={lookback}, \
+         {engine} engine",
         case.violation_at, n_hosts
     );
     println!(
@@ -601,6 +629,37 @@ mod tests {
         ])
         .unwrap();
         diagnose(&args).expect("diagnose runs");
+    }
+
+    #[test]
+    fn engine_flag_parses_and_rejects_unknown_names() {
+        let batch = Args::parse(["diagnose", "--engine", "batch"]).unwrap();
+        assert_eq!(parse_engine(&batch).unwrap(), AnalysisEngine::Batch);
+        let absent = Args::parse(["diagnose"]).unwrap();
+        assert_eq!(parse_engine(&absent).unwrap(), AnalysisEngine::Streaming);
+        let bogus = Args::parse(["diagnose", "--engine", "turbo"]).unwrap();
+        let err = parse_engine(&bogus).unwrap_err().to_string();
+        assert!(err.contains("turbo"), "unhelpful error: {err}");
+    }
+
+    #[test]
+    fn diagnose_with_batch_engine_end_to_end() {
+        let args = Args::parse([
+            "diagnose",
+            "--app",
+            "rubis",
+            "--fault",
+            "cpuhog",
+            "--seed",
+            "42",
+            "--duration",
+            "1500",
+            "--engine",
+            "batch",
+            "--json",
+        ])
+        .unwrap();
+        diagnose(&args).expect("diagnose runs with the batch engine");
     }
 
     #[test]

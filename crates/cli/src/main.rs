@@ -38,6 +38,8 @@ COMMON FLAGS:
     --seed <N>                      run seed (default 42)
     --duration <TICKS>              run length (default 3600)
     --lookback <W>                  look-back window (default per fault)
+    --engine <batch|streaming>      analysis engine (default streaming; both
+                                    produce bit-identical reports)
     --runs <N>                      campaign size (default 30)
     --validate                      also run online pinpointing validation
     --replay-csv <PATH>             replay a recorded `tick,intensity` workload

@@ -3,6 +3,79 @@
 use fchain_detect::{CusumConfig, OutlierConfig};
 use fchain_model::LearnerConfig;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Which analysis implementation the slaves run at violation time.
+///
+/// Both engines execute the same §II.B pipeline and produce bit-identical
+/// [`crate::ComponentFinding`]s — the parity is enforced by tests in
+/// `tests/determinism.rs`, exactly like the parallel/sequential split.
+/// They differ in *when* the work happens:
+///
+/// * [`AnalysisEngine::Batch`] — the reference implementation: everything
+///   (error-floor percentiles, smoothing, CUSUM + bootstrap, burst FFT,
+///   rollback) is recomputed from scratch at violation time.
+/// * [`AnalysisEngine::Streaming`] — the default: `ingest()` maintains
+///   per-metric state (an exact sliding percentile sketch of the
+///   normal-behaviour error span) so at violation time the engine reads
+///   the error floor in O(1), screens out metrics whose window-maximum
+///   prediction error provably cannot pass the predictability filter, and
+///   runs the full pipeline only on the survivors — with persistent
+///   scratch buffers, so nothing allocates after warm-up.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum AnalysisEngine {
+    /// Recompute the whole pipeline at violation time (reference).
+    Batch,
+    /// Advance per-metric state at ingest; finish only the tail at
+    /// violation time.
+    #[default]
+    Streaming,
+}
+
+impl fmt::Display for AnalysisEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AnalysisEngine::Batch => "batch",
+            AnalysisEngine::Streaming => "streaming",
+        })
+    }
+}
+
+impl FromStr for AnalysisEngine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "batch" => Ok(AnalysisEngine::Batch),
+            "streaming" => Ok(AnalysisEngine::Streaming),
+            other => Err(format!(
+                "unknown analysis engine {other:?} (expected batch|streaming)"
+            )),
+        }
+    }
+}
+
+// Hand-written serde impls (the vendored derive has no `#[serde(...)]`
+// attribute support): the engine serializes as its lowercase name, and a
+// missing field — `Content::Null` is what the derive's field lookup feeds
+// on absence — falls back to the default so configs and reports written
+// before the engine existed keep deserializing.
+impl Serialize for AnalysisEngine {
+    fn serialize(&self) -> serde::Content {
+        serde::Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for AnalysisEngine {
+    fn deserialize(c: &serde::Content) -> Result<Self, serde::DeError> {
+        match c {
+            serde::Content::Null => Ok(AnalysisEngine::default()),
+            serde::Content::Str(s) => s.parse().map_err(serde::DeError::custom),
+            other => Err(serde::DeError::expected("an analysis engine name", other)),
+        }
+    }
+}
 
 /// All knobs of the FChain system, with the defaults the paper reports
 /// working across every tested application (§III.A): look-back window
@@ -83,6 +156,11 @@ pub struct FChainConfig {
     /// fixed half-width, so clean signals keep sharp onsets while jittery
     /// ones still get denoised.
     pub adaptive_smoothing: bool,
+    /// Which analysis implementation runs at violation time (streaming by
+    /// default; batch is the always-available reference). Older serialized
+    /// configs lack the field — its `Deserialize` maps absence to the
+    /// default.
+    pub engine: AnalysisEngine,
     /// Online learner configuration (quantization, decay).
     pub learner: LearnerConfig,
     /// CUSUM + bootstrap configuration.
@@ -110,6 +188,7 @@ impl Default for FChainConfig {
             slave_retries: 2,
             slave_backoff_ms: 1,
             adaptive_smoothing: false,
+            engine: AnalysisEngine::default(),
             learner: LearnerConfig::default(),
             cusum: CusumConfig::default(),
             outlier: OutlierConfig::default(),
@@ -171,7 +250,32 @@ mod tests {
         assert_eq!(c.burst_percentile, 90.0);
         assert_eq!(c.concurrency_threshold, 2);
         assert_eq!(c.tangent_epsilon, 0.1);
+        assert_eq!(c.engine, AnalysisEngine::Streaming);
         c.validate();
+    }
+
+    #[test]
+    fn engine_parses_and_displays_round_trip() {
+        for engine in [AnalysisEngine::Batch, AnalysisEngine::Streaming] {
+            assert_eq!(engine.to_string().parse::<AnalysisEngine>(), Ok(engine));
+        }
+        assert!("turbo".parse::<AnalysisEngine>().is_err());
+    }
+
+    #[test]
+    fn engine_survives_serde_and_defaults_when_missing() {
+        let cfg = FChainConfig {
+            engine: AnalysisEngine::Batch,
+            ..FChainConfig::default()
+        };
+        let json = serde_json::to_string(&cfg).expect("serializable config");
+        let back: FChainConfig = serde_json::from_str(&json).expect("round trip");
+        assert_eq!(back.engine, AnalysisEngine::Batch);
+        // Configs serialized before the engine existed must still load.
+        let stripped = json.replace("\"engine\":\"batch\",", "");
+        assert_ne!(stripped, json, "engine field not found in {json}");
+        let old: FChainConfig = serde_json::from_str(&stripped).expect("legacy config");
+        assert_eq!(old.engine, AnalysisEngine::Streaming);
     }
 
     #[test]

@@ -74,7 +74,7 @@ pub mod master;
 pub mod slave;
 
 pub use case::{CaseData, ComponentCase};
-pub use config::FChainConfig;
+pub use config::{AnalysisEngine, FChainConfig};
 pub use fchain::FChain;
 pub use localizer::Localizer;
 pub use master::endpoint::{

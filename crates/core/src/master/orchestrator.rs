@@ -340,6 +340,12 @@ impl Master {
             removed_by_validation: Vec::new(),
             coverage,
             snapshot: None,
+            // Provenance: the engine the master is configured with. Each
+            // slave daemon honors its *own* config at analysis time; in a
+            // real deployment the master cannot retroactively change what
+            // a remote slave ran, so deployments configure both sides
+            // consistently (the CLI and eval paths do).
+            engine: self.config.engine,
         }
     }
 

@@ -59,6 +59,7 @@ pub trait ValidationProbe: std::fmt::Debug {
 ///     removed_by_validation: vec![],
 ///     coverage: Default::default(),
 ///     snapshot: None,
+///     engine: Default::default(),
 /// };
 /// validate_pinpointing(&mut report, &mut OnlyC1, 2);
 /// assert_eq!(report.pinpointed, vec![ComponentId(1)]);
@@ -136,6 +137,7 @@ mod tests {
             removed_by_validation: vec![],
             coverage: Default::default(),
             snapshot: None,
+            engine: Default::default(),
         }
     }
 

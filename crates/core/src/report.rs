@@ -1,5 +1,6 @@
 //! Diagnosis outputs.
 
+use crate::config::AnalysisEngine;
 use fchain_detect::Trend;
 use fchain_metrics::{ComponentId, MetricKind, Tick};
 use fchain_obs::PipelineSnapshot;
@@ -198,11 +199,20 @@ pub struct DiagnosisReport {
     /// `PartialEq` so observed and unobserved diagnoses of the same data
     /// still compare equal.
     pub snapshot: Option<PipelineSnapshot>,
+    /// Which analysis engine produced this report. Provenance only: both
+    /// engines yield bit-identical findings, so the field is excluded
+    /// from `PartialEq` (like `snapshot`) and cross-engine reports of the
+    /// same data compare equal — which is exactly what the parity suite
+    /// asserts.
+    /// Older serialized reports lack the field — its `Deserialize` maps
+    /// absence to the default.
+    pub engine: AnalysisEngine,
 }
 
 /// Equality over the diagnosis *payload* only: `snapshot` carries
-/// wall-clock timings and is ignored, keeping report comparison (and the
-/// determinism suite) meaningful for instrumented runs.
+/// wall-clock timings and `engine` is provenance, so both are ignored,
+/// keeping report comparison (and the determinism/parity suites)
+/// meaningful for instrumented and cross-engine runs.
 impl PartialEq for DiagnosisReport {
     fn eq(&self, other: &Self) -> bool {
         self.verdict == other.verdict
@@ -303,6 +313,7 @@ mod tests {
             removed_by_validation: vec![],
             coverage: DiagnosisCoverage::default(),
             snapshot: None,
+            engine: AnalysisEngine::default(),
         };
         assert_eq!(
             report.propagation_chain(),
@@ -321,7 +332,7 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_is_excluded_from_report_equality() {
+    fn snapshot_and_engine_are_excluded_from_report_equality() {
         let base = DiagnosisReport {
             verdict: Verdict::NoAnomaly,
             pinpointed: vec![],
@@ -329,10 +340,14 @@ mod tests {
             removed_by_validation: vec![],
             coverage: DiagnosisCoverage::default(),
             snapshot: None,
+            engine: AnalysisEngine::Streaming,
         };
         let mut observed = base.clone();
         observed.snapshot = Some(PipelineSnapshot::empty());
         assert_eq!(base, observed, "snapshot must not affect equality");
+        let mut batch = base.clone();
+        batch.engine = AnalysisEngine::Batch;
+        assert_eq!(base, batch, "engine provenance must not affect equality");
         let mut different = base.clone();
         different.pinpointed = vec![ComponentId(7)];
         assert_ne!(base, different);

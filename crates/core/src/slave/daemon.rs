@@ -13,10 +13,13 @@
 //! a ~3 MB daemon footprint): per metric it keeps the learner, a bounded
 //! history ring and the matching error ring.
 
-use crate::config::FChainConfig;
+use crate::config::{AnalysisEngine, FChainConfig};
 use crate::report::{AbnormalChange, ComponentFinding};
-use crate::slave::selection::select_abnormal_changes;
-use fchain_metrics::{ComponentId, MetricKind, RingBuffer, Tick};
+use crate::slave::selection::{
+    error_floor_from_parts, select_abnormal_changes, select_abnormal_changes_streaming,
+    SelectionScratch,
+};
+use fchain_metrics::{stats, ComponentId, MetricKind, PercentileSketch, RingBuffer, Tick};
 use fchain_model::OnlineLearner;
 use fchain_obs as obs;
 use parking_lot::Mutex;
@@ -42,13 +45,24 @@ pub struct MetricSample {
     pub value: f64,
 }
 
-/// Per-metric online state: the learner plus bounded recent history.
+/// Per-metric online state: the learner plus bounded recent history, and
+/// — under the streaming engine — an exact percentile sketch of the
+/// normal-behaviour error span, advanced on every push so the error floor
+/// is an O(1) read at violation time.
 #[derive(Debug)]
 struct MetricState {
     learner: OnlineLearner,
     values: RingBuffer,
     errors: RingBuffer,
     last_tick: Option<Tick>,
+    /// Sorted multiset of exactly `errors[cal .. len − W]` in ring-local
+    /// coordinates — the normal span the error floor is computed from
+    /// when the violation tick coincides with the latest sample.
+    sketch: PercentileSketch,
+    /// Whether `sketch` currently mirrors the normal span. False until
+    /// the series reaches steady state (`len ≥ W + cal + 1`) and after a
+    /// reset; [`MetricState::advance_sketch`] rebuilds on the transition.
+    sketch_ok: bool,
 }
 
 impl MetricState {
@@ -58,6 +72,84 @@ impl MetricState {
             values: RingBuffer::new(capacity),
             errors: RingBuffer::new(capacity),
             last_tick: None,
+            sketch: PercentileSketch::new(),
+            sketch_ok: false,
+        }
+    }
+
+    /// Feeds one value through the learner into the rings; under the
+    /// streaming engine also advances the normal-span sketch.
+    fn push_sample(&mut self, value: f64, config: &FChainConfig) {
+        let evicting = self.values.len() == self.values.capacity();
+        let error = self.learner.feed(value);
+        self.values.push(value);
+        self.errors.push(error);
+        if config.engine == AnalysisEngine::Streaming {
+            self.advance_sketch(evicting, config);
+        }
+    }
+
+    /// Keeps `sketch` equal to the normal error span `[cal, len − W)`
+    /// after a push. In steady state this is O(log n): the span's sliding
+    /// window moved by at most one element at each end (one new entrant
+    /// at `len − 1 − W`; the oldest leaves only when the ring evicted).
+    fn advance_sketch(&mut self, evicted: bool, config: &FChainConfig) {
+        let w = config.lookback as usize;
+        let cal = config.learner.calibration_samples;
+        let len = self.errors.len();
+        // Pre-steady-state the analysis-time span formulas still clamp
+        // (`w = min(W, n−1)`, `nse = max(n−w, cal+1)`), so the span is not
+        // yet the simple sliding window this maintenance tracks. The
+        // floor falls back to the direct computation until then.
+        if len < w + cal + 1 {
+            self.sketch_ok = false;
+            return;
+        }
+        if !self.sketch_ok {
+            let errors = &self.errors;
+            self.sketch
+                .rebuild((cal..len - w).map(|i| errors.get(i).expect("span index in ring")));
+            self.sketch_ok = true;
+            return;
+        }
+        if evicted {
+            // Every ring-local index shifted down by one: the span lost
+            // its oldest element (which is also the sketch's oldest
+            // arrival — entrants join in arrival order).
+            self.sketch.pop_oldest();
+        }
+        self.sketch
+            .push(self.errors.get(len - 1 - w).expect("span end in ring"));
+    }
+
+    /// The error floor read from the sketch — bit-identical to the batch
+    /// computation over `errors[cal .. n − w]` because the sketch holds
+    /// exactly that multiset, sorted the same way.
+    fn sketch_floor(&self, config: &FChainConfig) -> f64 {
+        let sorted = self.sketch.sorted();
+        let p90 = stats::percentile_sorted(sorted, 90.0).unwrap_or(0.0);
+        let p99 = stats::percentile_sorted(sorted, 99.0).unwrap_or(0.0);
+        let max_normal = sorted.last().copied().unwrap_or(0.0);
+        error_floor_from_parts(p90, p99, max_normal, config)
+    }
+}
+
+/// The streaming engine's per-component violation-time buffers: the ring
+/// snapshots and the selection pipeline's scratch, allocated on the first
+/// analysis and reused for every later one.
+#[derive(Debug)]
+struct AnalysisScratch {
+    hist: Vec<f64>,
+    errs: Vec<f64>,
+    selection: SelectionScratch,
+}
+
+impl AnalysisScratch {
+    fn new(config: &FChainConfig) -> Self {
+        AnalysisScratch {
+            hist: Vec::new(),
+            errs: Vec::new(),
+            selection: SelectionScratch::new(config),
         }
     }
 }
@@ -70,6 +162,9 @@ struct ComponentState {
     /// Indexed by [`MetricKind::index`]; `None` until the first sample of
     /// that kind arrives.
     metrics: [Option<MetricState>; 6],
+    /// Streaming-engine analysis buffers; `None` until the first analysis
+    /// (and always `None` under the batch engine).
+    scratch: Option<Box<AnalysisScratch>>,
 }
 
 impl ComponentState {
@@ -177,22 +272,35 @@ impl SlaveDaemon {
     }
 
     /// Rough resident footprint of the daemon's state in bytes (rings +
-    /// model matrices). The paper reports ~3 MB per host daemon (§III.G);
-    /// this estimator makes the bound checkable in tests and dashboards.
+    /// model matrices + the streaming engine's error-floor sketch). The
+    /// paper reports ~3 MB per host daemon (§III.G); this estimator makes
+    /// the bound checkable in tests and dashboards.
     pub fn approx_memory_bytes(&self) -> usize {
-        let per_metric = 2 * self.capacity * std::mem::size_of::<f64>() // value+error rings
-            + {
-                let b = self.config.learner.bins;
-                (b * b + 2 * b) * std::mem::size_of::<f64>() // transition matrix + masses
-            };
+        // The sketch shadows the normal error span (ring contents minus
+        // the look-back window and calibration prefix) twice: once sorted,
+        // once in arrival order.
+        let sketch_span = match self.config.engine {
+            AnalysisEngine::Streaming => self.capacity.saturating_sub(
+                self.config.lookback as usize + self.config.learner.calibration_samples,
+            ),
+            AnalysisEngine::Batch => 0,
+        };
+        let per_metric = (2 * self.capacity + 2 * sketch_span) * std::mem::size_of::<f64>() + {
+            let b = self.config.learner.bins;
+            (b * b + 2 * b) * std::mem::size_of::<f64>() // transition matrix + masses
+        };
         self.monitored_series() * per_metric
     }
 
-    /// Feeds one sample, updating the online model incrementally.
+    /// Feeds one sample, updating the online model incrementally (and,
+    /// under the streaming engine, the per-metric error-floor sketch).
     ///
-    /// Samples must arrive in non-decreasing tick order per metric;
-    /// out-of-order samples are dropped (monitoring pipelines may repeat
-    /// a tick on reconnect).
+    /// Samples must arrive in strictly increasing tick order per metric;
+    /// duplicate-tick and out-of-order samples are dropped (monitoring
+    /// pipelines may repeat a tick on reconnect). Drops, bridged gap
+    /// ticks and series resets are counted via `fchain-obs`
+    /// (`ingest_dropped_samples` / `ingest_gap_ticks_bridged` /
+    /// `ingest_series_resets`) and surface in the pipeline snapshot.
     pub fn ingest(&self, sample: MetricSample) {
         let shard = self.shard(sample.component);
         let mut comp = shard.lock();
@@ -200,6 +308,7 @@ impl SlaveDaemon {
             .get_or_insert_with(|| MetricState::new(&self.config, self.capacity));
         if let Some(last) = state.last_tick {
             if sample.tick <= last {
+                obs::count(obs::Counter::IngestDroppedSamples, 1);
                 return;
             }
             // The ring-to-tick mapping assumes one sample per tick. Bridge
@@ -208,19 +317,17 @@ impl SlaveDaemon {
             // the series restarts and recalibrates.
             let gap = sample.tick - last - 1;
             if gap > MAX_GAP_FILL {
+                obs::count(obs::Counter::IngestSeriesResets, 1);
                 *state = MetricState::new(&self.config, self.capacity);
             } else if gap > 0 {
+                obs::count(obs::Counter::IngestGapTicksBridged, gap);
                 let carry = state.values.latest().unwrap_or(sample.value);
                 for _ in 0..gap {
-                    let error = state.learner.feed(carry);
-                    state.values.push(carry);
-                    state.errors.push(error);
+                    state.push_sample(carry, &self.config);
                 }
             }
         }
-        let error = state.learner.feed(sample.value);
-        state.values.push(sample.value);
-        state.errors.push(error);
+        state.push_sample(sample.value, &self.config);
         state.last_tick = Some(sample.tick);
     }
 
@@ -238,19 +345,33 @@ impl SlaveDaemon {
             let shards = self.shards.lock();
             Arc::clone(shards.get(&component)?)
         };
-        let comp = shard.lock();
-        self.analyze_shard(component, &comp, violation_at)
+        let mut comp = shard.lock();
+        self.analyze_shard(component, &mut comp, violation_at)
     }
 
     /// The per-component analysis, run under that component's lock.
+    ///
+    /// Engine dispatch happens here. The batch reference reproduces the
+    /// original behaviour exactly: snapshot the rings into fresh vectors
+    /// and run the full selection pipeline. The streaming engine reuses
+    /// the component's persistent scratch (no steady-state allocation)
+    /// and, when the violation tick coincides with the latest sample,
+    /// hands the selection core the error floor precomputed by the ingest
+    /// path — the reads that let it screen out provably clean metrics
+    /// before smoothing/CUSUM/FFT ever run. Both engines share one
+    /// selection core, so their findings are bit-identical.
     fn analyze_shard(
         &self,
         component: ComponentId,
-        comp: &ComponentState,
+        comp: &mut ComponentState,
         violation_at: Tick,
     ) -> Option<ComponentFinding> {
         let _span = obs::time(obs::Stage::SlaveAnalyze);
         obs::count(obs::Counter::ComponentsAnalyzed, 1);
+        let streaming = self.config.engine == AnalysisEngine::Streaming;
+        if streaming && comp.scratch.is_none() {
+            comp.scratch = Some(Box::new(AnalysisScratch::new(&self.config)));
+        }
         let mut changes: Vec<AbnormalChange> = Vec::new();
         let mut seen = false;
         for kind in MetricKind::ALL {
@@ -268,21 +389,45 @@ impl SlaveDaemon {
                 continue;
             }
             let drop_tail = (last - violation_at) as usize;
-            let values = state.values.to_vec();
-            let errors = state.errors.to_vec();
-            if values.len() <= drop_tail + 40 {
+            if state.values.len() <= drop_tail + 40 {
                 continue;
             }
-            let hist = &values[..values.len() - drop_tail];
-            let errs = &errors[..errors.len() - drop_tail];
-            if let Some(change) = select_abnormal_changes(
-                hist,
-                errs,
-                kind,
-                violation_at,
-                self.config.lookback,
-                &self.config,
-            ) {
+            let change = if streaming {
+                let scratch = comp.scratch.as_mut().expect("scratch installed above");
+                state.values.copy_into(&mut scratch.hist);
+                state.errors.copy_into(&mut scratch.errs);
+                scratch.hist.truncate(state.values.len() - drop_tail);
+                scratch.errs.truncate(state.errors.len() - drop_tail);
+                // The sketch mirrors the normal span of the ring's *full*
+                // contents; trimming a tail moves the span, so the O(1)
+                // floor only applies when nothing is trimmed.
+                let floor_hint =
+                    (drop_tail == 0 && state.sketch_ok).then(|| state.sketch_floor(&self.config));
+                select_abnormal_changes_streaming(
+                    &scratch.hist,
+                    &scratch.errs,
+                    kind,
+                    violation_at,
+                    self.config.lookback,
+                    &self.config,
+                    floor_hint,
+                    &mut scratch.selection,
+                )
+            } else {
+                let values = state.values.to_vec();
+                let errors = state.errors.to_vec();
+                let hist = &values[..values.len() - drop_tail];
+                let errs = &errors[..errors.len() - drop_tail];
+                select_abnormal_changes(
+                    hist,
+                    errs,
+                    kind,
+                    violation_at,
+                    self.config.lookback,
+                    &self.config,
+                )
+            };
+            if let Some(change) = change {
                 changes.push(change);
             }
         }
@@ -308,7 +453,7 @@ impl SlaveDaemon {
         if workers <= 1 {
             return shards
                 .iter()
-                .filter_map(|(c, shard)| self.analyze_shard(*c, &shard.lock(), violation_at))
+                .filter_map(|(c, shard)| self.analyze_shard(*c, &mut shard.lock(), violation_at))
                 .collect();
         }
         let slots: Vec<Mutex<Option<ComponentFinding>>> =
@@ -322,7 +467,7 @@ impl SlaveDaemon {
                         break;
                     }
                     let (c, shard) = &shards[i];
-                    *slots[i].lock() = self.analyze_shard(*c, &shard.lock(), violation_at);
+                    *slots[i].lock() = self.analyze_shard(*c, &mut shard.lock(), violation_at);
                 });
             }
         });
@@ -335,7 +480,7 @@ impl SlaveDaemon {
     pub fn analyze_all_sequential(&self, violation_at: Tick) -> Vec<ComponentFinding> {
         self.shard_list()
             .iter()
-            .filter_map(|(c, shard)| self.analyze_shard(*c, &shard.lock(), violation_at))
+            .filter_map(|(c, shard)| self.analyze_shard(*c, &mut shard.lock(), violation_at))
             .collect()
     }
 }
@@ -593,5 +738,108 @@ mod tests {
     #[should_panic(expected = "twice the look-back")]
     fn tiny_capacity_rejected() {
         let _ = SlaveDaemon::new(FChainConfig::default()).with_capacity(50);
+    }
+
+    /// A batch daemon fed the identical stream, for parity tests.
+    fn batch_daemon() -> SlaveDaemon {
+        SlaveDaemon::new(FChainConfig {
+            engine: AnalysisEngine::Batch,
+            ..FChainConfig::default()
+        })
+    }
+
+    #[test]
+    fn engines_agree_on_every_violation_tick() {
+        let batch = batch_daemon();
+        let streaming = SlaveDaemon::new(FChainConfig::default());
+        for d in [&batch, &streaming] {
+            feed_component(d, ComponentId(0), 1000, Some(940));
+            feed_component(d, ComponentId(1), 1000, None);
+        }
+        // Violation at the latest tick (sketch fast path), mid-ring
+        // (trimmed tail, direct floor) and long before the fault.
+        for v in [999, 990, 985, 700] {
+            assert_eq!(
+                batch.analyze_all_sequential(v),
+                streaming.analyze_all_sequential(v),
+                "engines disagree at violation tick {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn engines_agree_across_gaps_and_resets() {
+        let batch = batch_daemon();
+        let streaming = SlaveDaemon::new(FChainConfig::default());
+        for d in [&batch, &streaming] {
+            let c = ComponentId(0);
+            let mk = |tick, value| MetricSample {
+                tick,
+                component: c,
+                kind: MetricKind::Cpu,
+                value,
+            };
+            for t in 0..400u64 {
+                if (150..160).contains(&t) {
+                    continue; // bridged gap
+                }
+                d.ingest(mk(t, 40.0 + (t % 5) as f64));
+            }
+            // Long outage: the series resets and recalibrates.
+            for t in 900..1900u64 {
+                let v = if t >= 1850 {
+                    95.0
+                } else {
+                    40.0 + (t % 5) as f64
+                };
+                d.ingest(mk(t, v));
+            }
+        }
+        for v in [399, 1899, 1880, 1400] {
+            assert_eq!(
+                batch.analyze_all_sequential(v),
+                streaming.analyze_all_sequential(v),
+                "engines disagree at violation tick {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_streaming_analyses_are_stable() {
+        // The persistent scratch must not leak state between analyses.
+        let daemon = SlaveDaemon::new(FChainConfig::default());
+        feed_component(&daemon, ComponentId(0), 1000, Some(940));
+        let first = daemon.analyze(ComponentId(0), 990).expect("monitored");
+        for _ in 0..5 {
+            assert_eq!(daemon.analyze(ComponentId(0), 990).as_ref(), Some(&first));
+        }
+        // Interleaving a different violation tick must not perturb later
+        // answers either.
+        let other = daemon.analyze(ComponentId(0), 700).expect("monitored");
+        assert_eq!(daemon.analyze(ComponentId(0), 990), Some(first));
+        assert_eq!(daemon.analyze(ComponentId(0), 700), Some(other));
+    }
+
+    #[test]
+    fn sketch_floor_matches_direct_computation() {
+        // White-box: once a series is steady, the incrementally maintained
+        // sketch must reproduce the batch error floor bit for bit.
+        let daemon = SlaveDaemon::new(FChainConfig::default());
+        feed_component(&daemon, ComponentId(0), 1300, None);
+        let config = daemon.config.clone();
+        for (_, shard) in daemon.shard_list() {
+            let comp = shard.lock();
+            for state in comp.metrics.iter().flatten() {
+                assert!(state.sketch_ok, "steady series must have a live sketch");
+                let errs = state.errors.to_vec();
+                let n = errs.len();
+                let w = (config.lookback as usize).min(n - 1);
+                let span = &errs[config.learner.calibration_samples..n - w];
+                let mut buf = Vec::new();
+                let direct = crate::slave::selection::compute_error_floor(span, &config, &mut buf);
+                assert_eq!(state.sketch.len(), span.len());
+                assert_eq!(state.sketch_floor(&config).to_bits(), direct.to_bits());
+            }
+        }
     }
 }

@@ -1,12 +1,46 @@
 //! Predictability-based abnormal change point selection (paper §II.B).
 
-use crate::config::FChainConfig;
+use crate::config::{AnalysisEngine, FChainConfig};
 use crate::report::{AbnormalChange, ComponentFinding};
 use crate::ComponentCase;
-use fchain_detect::{magnitude_outliers, ChangePoint, CusumDetector};
-use fchain_metrics::{fft, smooth, stats, MetricKind, Tick};
+use fchain_detect::{magnitude_outliers, ChangePoint, StreamingCusum};
+use fchain_metrics::fft::FftPlan;
+use fchain_metrics::{smooth, stats, MetricKind, Tick};
 use fchain_model::OnlineLearner;
 use fchain_obs as obs;
+
+/// Persistent buffers for the selection pipeline.
+///
+/// Every allocation the pipeline needs — the CUSUM prefix/bootstrap
+/// scratch (inside [`StreamingCusum`]), the smoothing prefix and output,
+/// the sorted error span for the floor percentiles, and the FFT plan with
+/// its cached twiddle tables — lives here. The streaming engine keeps one
+/// bundle per component so repeated violations allocate nothing; the
+/// batch reference path builds a fresh bundle per call, which reproduces
+/// the original allocating behaviour while sharing one code path (the
+/// parity guarantee is structural, not test-only).
+#[derive(Debug)]
+pub(crate) struct SelectionScratch {
+    cusum: StreamingCusum,
+    smooth_prefix: Vec<f64>,
+    window_smooth: Vec<f64>,
+    floor_buf: Vec<f64>,
+    plan: FftPlan,
+}
+
+impl SelectionScratch {
+    /// Builds the bundle for `config` (panics on an invalid CUSUM config,
+    /// exactly like the previous per-call `CusumDetector::new`).
+    pub(crate) fn new(config: &FChainConfig) -> Self {
+        SelectionScratch {
+            cusum: StreamingCusum::new(config.cusum.clone(), (config.lookback as usize).max(1) + 1),
+            smooth_prefix: Vec::new(),
+            window_smooth: Vec::new(),
+            floor_buf: Vec::new(),
+            plan: FftPlan::new(),
+        }
+    }
+}
 
 /// Analyzes one component: for each of its six metrics, detect change
 /// points in the look-back window, filter them down to abnormal ones, and
@@ -53,6 +87,15 @@ pub fn analyze_component(
     config: &FChainConfig,
 ) -> ComponentFinding {
     let mut changes = Vec::new();
+    // Engine dispatch: the streaming engine reuses one scratch bundle
+    // across the component's six metrics (and applies its error-floor
+    // fast screen); the batch reference recomputes everything per metric.
+    // Both run the same `select_with_scratch` core, so the findings are
+    // bit-identical.
+    let mut scratch = match config.engine {
+        AnalysisEngine::Streaming => Some(SelectionScratch::new(config)),
+        AnalysisEngine::Batch => None,
+    };
 
     for kind in MetricKind::ALL {
         let history = component.metric(kind);
@@ -78,7 +121,14 @@ pub fn analyze_component(
                 })
                 .collect()
         };
-        if let Some(change) = analyze_metric(&sanitized, kind, violation_at, lookback, config) {
+        if let Some(change) = analyze_metric(
+            &sanitized,
+            kind,
+            violation_at,
+            lookback,
+            config,
+            scratch.as_mut(),
+        ) {
             changes.push(change);
         }
     }
@@ -96,12 +146,25 @@ fn analyze_metric(
     violation_at: Tick,
     lookback: u64,
     config: &FChainConfig,
+    scratch: Option<&mut SelectionScratch>,
 ) -> Option<AbnormalChange> {
     // 1. Causal prediction errors over the full history (in deployment the
     // slave daemon already holds these — see `SlaveDaemon`).
     let mut learner = OnlineLearner::new(config.learner.clone());
     let errors = learner.train_errors(hist);
-    select_abnormal_changes(hist, &errors, kind, violation_at, lookback, config)
+    match scratch {
+        Some(scratch) => select_abnormal_changes_streaming(
+            hist,
+            &errors,
+            kind,
+            violation_at,
+            lookback,
+            config,
+            None,
+            scratch,
+        ),
+        None => select_abnormal_changes(hist, &errors, kind, violation_at, lookback, config),
+    }
 }
 
 /// The selection stages downstream of the online model: change point
@@ -122,9 +185,69 @@ pub fn select_abnormal_changes(
     lookback: u64,
     config: &FChainConfig,
 ) -> Option<AbnormalChange> {
+    let mut scratch = SelectionScratch::new(config);
+    select_with_scratch(
+        hist,
+        errors,
+        kind,
+        violation_at,
+        lookback,
+        config,
+        None,
+        false,
+        &mut scratch,
+    )
+}
+
+/// The streaming engine's entry point: [`select_abnormal_changes`] with
+/// persistent buffers, an optional precomputed error floor (from the
+/// daemon's per-metric [`fchain_metrics::PercentileSketch`], which holds
+/// exactly the normal-span multiset), the fast screen enabled and the
+/// CUSUM bootstrap pruned (both provably result-preserving).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn select_abnormal_changes_streaming(
+    hist: &[f64],
+    errors: &[f64],
+    kind: MetricKind,
+    violation_at: Tick,
+    lookback: u64,
+    config: &FChainConfig,
+    floor_hint: Option<f64>,
+    scratch: &mut SelectionScratch,
+) -> Option<AbnormalChange> {
+    select_with_scratch(
+        hist,
+        errors,
+        kind,
+        violation_at,
+        lookback,
+        config,
+        floor_hint,
+        true,
+        scratch,
+    )
+}
+
+/// The single shared selection core. Both engines run this code; they
+/// differ only in buffer lifetime (per-call vs persistent), in whether
+/// the error floor arrives precomputed, and in whether the streaming
+/// shortcuts (the fast screen and the pruned CUSUM bootstrap) may fire —
+/// none of which changes any emitted value, so the engines' findings are
+/// bit-identical by construction.
+#[allow(clippy::too_many_arguments)]
+fn select_with_scratch(
+    hist: &[f64],
+    errors: &[f64],
+    kind: MetricKind,
+    violation_at: Tick,
+    lookback: u64,
+    config: &FChainConfig,
+    floor_hint: Option<f64>,
+    fast_screen: bool,
+    scratch: &mut SelectionScratch,
+) -> Option<AbnormalChange> {
     let _selection_span = obs::time(obs::Stage::SlaveSelection);
     obs::count(obs::Counter::MetricsAnalyzed, 1);
-    let detector = CusumDetector::new(config.cusum.clone());
     let n = hist.len();
     debug_assert_eq!(hist.len(), errors.len(), "errors must align with samples");
     // Degenerate windows: an empty or misaligned history has nothing to
@@ -138,36 +261,56 @@ pub fn select_abnormal_changes(
     // `w` is clamped so that `lookback >= n` degrades to "the whole
     // history minus one sample" instead of underflowing `window_start`.
     let w = (lookback as usize).min(n.saturating_sub(1));
-    let normal_span_start = config.learner.calibration_samples.min(n.saturating_sub(1));
-    let normal_span_end = n.saturating_sub(w).max(normal_span_start + 1).min(n);
-    let normal_errors = &errors[normal_span_start..normal_span_end];
-    // Two floors: typical error (p90) scaled up, and the error *tail*
-    // (p99) with a smaller multiplier — rare-but-normal fluctuations (the
-    // tail of learnable bursts) must not qualify as abnormal.
-    let p90 = stats::percentile(normal_errors, 90.0).unwrap_or(0.0);
-    let p99 = stats::percentile(normal_errors, 99.0).unwrap_or(0.0);
-    // The strictest floor is empirical: an abnormal prediction error must
-    // exceed every error the model produced across the whole pre-window
-    // normal span — "the model has seen fluctuation this size before" is
-    // exactly what disqualifies a change point as abnormal.
-    let max_normal = stats::max(normal_errors).unwrap_or(0.0);
-    let error_floor = (config.error_floor_scale * p90)
-        .max(1.8 * p99)
-        .max(1.02 * max_normal)
-        .max(1e-9);
+    let window_start = n - 1 - w;
+    let error_floor = floor_hint.unwrap_or_else(|| {
+        let normal_span_start = config.learner.calibration_samples.min(n.saturating_sub(1));
+        let normal_span_end = n.saturating_sub(w).max(normal_span_start + 1).min(n);
+        let normal_errors = &errors[normal_span_start..normal_span_end];
+        compute_error_floor(normal_errors, config, &mut scratch.floor_buf)
+    });
+
+    // Fast screen (streaming engine only): every acceptance below requires
+    // some outlier's `real` error — a maximum over `errors[abs_idx-2 ..=
+    // abs_idx+slack]` with `abs_idx >= window_start` — to exceed an
+    // expectation that is itself floored at `error_floor`. So if the
+    // maximum error over `errors[window_start-2 ..]` (a superset of every
+    // `real` range) does not exceed the floor, no change point can be
+    // accepted and the whole smoothing/CUSUM/FFT tail is provably a
+    // no-op. On healthy metrics this screen is the entire violation-time
+    // cost.
+    if fast_screen {
+        let screen_lo = window_start.saturating_sub(2);
+        let window_max = errors[screen_lo..].iter().copied().fold(0.0, f64::max);
+        if window_max <= error_floor {
+            obs::count(obs::Counter::StreamingScreened, 1);
+            return None;
+        }
+    }
 
     // 2. Change points on the smoothed look-back window.
-    let window_start = n - 1 - w;
     let window_raw = &hist[window_start..];
     let half = if config.adaptive_smoothing {
         adaptive_half(window_raw, config.smoothing_half)
     } else {
         config.smoothing_half
     };
-    let window_smooth = smooth::moving_average(window_raw, half);
+    smooth::moving_average_into(
+        window_raw,
+        half,
+        &mut scratch.smooth_prefix,
+        &mut scratch.window_smooth,
+    );
+    let window_smooth = &scratch.window_smooth;
     let change_points = {
         let _span = obs::time(obs::Stage::SlaveCusum);
-        detector.detect(&window_smooth)
+        // The streaming engine prunes rejection-certain bootstrap
+        // segments (bit-identical, see `detect_into_pruned`); the batch
+        // reference runs every reshuffle.
+        if fast_screen {
+            scratch.cusum.detect_window_pruned(window_smooth)
+        } else {
+            scratch.cusum.detect_window(window_smooth)
+        }
     };
     obs::count(
         obs::Counter::ChangePointCandidates,
@@ -176,7 +319,7 @@ pub fn select_abnormal_changes(
     if change_points.is_empty() {
         return None;
     }
-    let outliers = magnitude_outliers(&change_points, &window_smooth, &config.outlier);
+    let outliers = magnitude_outliers(change_points, window_smooth, &config.outlier);
     obs::count(obs::Counter::ChangePointOutliers, outliers.len() as u64);
 
     // 3. Predictability filter. The burst-adaptive expectation is anchored
@@ -193,7 +336,7 @@ pub fn select_abnormal_changes(
     let q2 = 2 * config.burst_window as usize;
     let head_end = (window_start + q2).min(n - 1);
     let fft_span = obs::time(obs::Stage::SlaveFft);
-    let head = fft::burst_magnitude(
+    let head = scratch.plan.burst_magnitude(
         &hist[window_start..=head_end],
         config.high_freq_fraction,
         config.burst_percentile,
@@ -201,7 +344,7 @@ pub fn select_abnormal_changes(
     // The expectation is anchored at the first change point, not at the
     // outlier under test, so it is loop-invariant: synthesize it once
     // instead of re-running the FFT per outlier.
-    let expected = expected_error(hist, anchor, config)
+    let expected = expected_error(&mut scratch.plan, hist, anchor, config)
         .min(head)
         .max(error_floor);
     drop(fft_span);
@@ -227,12 +370,8 @@ pub fn select_abnormal_changes(
     // 4. Earliest abnormal change point wins; roll it back to the onset.
     let (cp, real, expected) = abnormal.into_iter().min_by_key(|(cp, _, _)| cp.index)?;
     let rollback_span = obs::time(obs::Stage::SlaveRollback);
-    let onset_idx = super::rollback::rollback_onset(
-        &window_smooth,
-        &change_points,
-        &cp,
-        config.tangent_epsilon,
-    );
+    let onset_idx =
+        super::rollback::rollback_onset(window_smooth, change_points, &cp, config.tangent_epsilon);
     drop(rollback_span);
     // Saturating: a caller-supplied `violation_at` smaller than the window
     // (possible for synthetic or truncated histories) must clamp to tick 0
@@ -246,6 +385,48 @@ pub fn select_abnormal_changes(
         expected_error: expected,
         direction: cp.direction,
     })
+}
+
+/// The error floor over the pre-window normal span: two scaled
+/// percentiles plus the span maximum (see the call site for the
+/// rationale). Sorts into `buf`, so a caller holding the buffer pays no
+/// allocation; the values are identical to `stats::percentile` /
+/// `stats::max` over the same span — the property that lets the daemon
+/// substitute its incrementally maintained sketch for this computation.
+pub(crate) fn compute_error_floor(
+    normal_errors: &[f64],
+    config: &FChainConfig,
+    buf: &mut Vec<f64>,
+) -> f64 {
+    buf.clear();
+    buf.extend_from_slice(normal_errors);
+    buf.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample in percentile"));
+    // Two floors: typical error (p90) scaled up, and the error *tail*
+    // (p99) with a smaller multiplier — rare-but-normal fluctuations (the
+    // tail of learnable bursts) must not qualify as abnormal.
+    let p90 = stats::percentile_sorted(buf, 90.0).unwrap_or(0.0);
+    let p99 = stats::percentile_sorted(buf, 99.0).unwrap_or(0.0);
+    // The strictest floor is empirical: an abnormal prediction error must
+    // exceed every error the model produced across the whole pre-window
+    // normal span — "the model has seen fluctuation this size before" is
+    // exactly what disqualifies a change point as abnormal.
+    let max_normal = buf.last().copied().unwrap_or(0.0);
+    error_floor_from_parts(p90, p99, max_normal, config)
+}
+
+/// Combines the normal-span order statistics into the error floor. Shared
+/// between [`compute_error_floor`] and the daemon's sketch-backed fast
+/// path so both produce the same bits.
+pub(crate) fn error_floor_from_parts(
+    p90: f64,
+    p99: f64,
+    max_normal: f64,
+    config: &FChainConfig,
+) -> f64 {
+    (config.error_floor_scale * p90)
+        .max(1.8 * p99)
+        .max(1.02 * max_normal)
+        .max(1e-9)
 }
 
 /// Chooses a smoothing half-width from the window's noise profile: the
@@ -288,7 +469,7 @@ fn real_error(errors: &[f64], idx: usize, slack: usize) -> f64 {
 /// the burstiness of the *normal* behavior the change is judged against —
 /// a large fault inside the window would otherwise raise its own
 /// threshold and mask itself.
-fn expected_error(hist: &[f64], idx: usize, config: &FChainConfig) -> f64 {
+fn expected_error(plan: &mut FftPlan, hist: &[f64], idx: usize, config: &FChainConfig) -> f64 {
     let q = config.burst_window as usize;
     // Change-point placement has a few ticks of jitter (smoothing blurs
     // onsets); the guard keeps the first fault samples out of the
@@ -297,7 +478,7 @@ fn expected_error(hist: &[f64], idx: usize, config: &FChainConfig) -> f64 {
     let lo = idx.saturating_sub(2 * q + guard);
     let hi = idx.saturating_sub(1 + guard).max(lo);
     config.burst_scale
-        * fft::burst_magnitude(
+        * plan.burst_magnitude(
             &hist[lo..=hi.min(hist.len() - 1)],
             config.high_freq_fraction,
             config.burst_percentile,

@@ -115,32 +115,85 @@ impl CusumDetector {
     /// reused for every bootstrap reshuffle across the whole recursion
     /// (instead of cloning the segment once per recursion level).
     pub fn detect(&self, xs: &[f64]) -> Vec<ChangePoint> {
-        let mut rng = SmallRng::seed_from_u64(self.config.seed);
+        let mut prefix = Vec::new();
+        let mut scratch = Vec::new();
         let mut found = Vec::new();
+        self.detect_into(xs, &mut prefix, &mut scratch, &mut found);
+        found
+    }
+
+    /// [`CusumDetector::detect`] with caller-owned buffers.
+    ///
+    /// `prefix`, `scratch` and `out` are cleared and refilled; holding them
+    /// across calls (as [`crate::StreamingCusum`] does) makes repeated
+    /// detection allocation-free after warm-up. The prefix table is rebuilt
+    /// from scratch on every call — accumulating it incrementally across a
+    /// sliding window would change the floating-point summation order and
+    /// break bit-for-bit parity with [`CusumDetector::detect`].
+    pub fn detect_into(
+        &self,
+        xs: &[f64],
+        prefix: &mut Vec<f64>,
+        scratch: &mut Vec<f64>,
+        out: &mut Vec<ChangePoint>,
+    ) {
+        self.detect_into_inner(xs, prefix, scratch, out, false);
+    }
+
+    /// [`CusumDetector::detect_into`] with bootstrap pruning: each
+    /// segment's bootstrap loop stops as soon as rejection is certain —
+    /// when even counting every remaining reshuffle as a success could not
+    /// reach the confidence threshold — and fast-forwards the RNG over the
+    /// draws the skipped reshuffles would have consumed
+    /// ([`SmallRng::advance`], `O(log n)`).
+    ///
+    /// The output is **bit-identical** to [`CusumDetector::detect_into`]:
+    /// a pruned segment would have been rejected anyway (the final
+    /// `below / bootstraps` is monotone in the success count, so the early
+    /// verdict is exact, and a rejected segment contributes no change
+    /// point), and because every reshuffle of an `n`-sample segment
+    /// consumes exactly `n - 1` draws, the fast-forward leaves the RNG in
+    /// precisely the state the full loop would have — so every subsequent
+    /// segment in the recursion sees identical reshuffles. Accepted
+    /// segments always run their full bootstrap (their exact confidence is
+    /// reported). The streaming analysis engine runs this variant; the
+    /// batch reference keeps the plain loop.
+    pub fn detect_into_pruned(
+        &self,
+        xs: &[f64],
+        prefix: &mut Vec<f64>,
+        scratch: &mut Vec<f64>,
+        out: &mut Vec<ChangePoint>,
+    ) {
+        self.detect_into_inner(xs, prefix, scratch, out, true);
+    }
+
+    fn detect_into_inner(
+        &self,
+        xs: &[f64],
+        prefix: &mut Vec<f64>,
+        scratch: &mut Vec<f64>,
+        out: &mut Vec<ChangePoint>,
+        prune: bool,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(self.config.seed);
+        out.clear();
         if xs.len() < self.config.min_segment * 2 {
-            return found;
+            return;
         }
         // prefix[i] = sum of xs[..i]; segment sums become two lookups.
-        let mut prefix = Vec::with_capacity(xs.len() + 1);
+        prefix.clear();
+        prefix.reserve(xs.len() + 1);
         let mut acc = 0.0;
         prefix.push(0.0);
         for &x in xs {
             acc += x;
             prefix.push(acc);
         }
-        let mut scratch = xs.to_vec();
-        self.segment(
-            xs,
-            &prefix,
-            0,
-            xs.len(),
-            &mut found,
-            &mut rng,
-            &mut scratch,
-            0,
-        );
-        found.sort_by_key(|cp| cp.index);
-        found
+        scratch.clear();
+        scratch.extend_from_slice(xs);
+        self.segment(xs, prefix, 0, xs.len(), out, &mut rng, scratch, 0, prune);
+        out.sort_by_key(|cp| cp.index);
     }
 
     /// Recursively splits `xs[lo..hi]`; found change points carry absolute
@@ -156,6 +209,7 @@ impl CusumDetector {
         rng: &mut SmallRng,
         scratch: &mut [f64],
         depth: usize,
+        prune: bool,
     ) {
         let n = hi - lo;
         if n < self.config.min_segment * 2 || out.len() >= self.config.max_change_points {
@@ -166,7 +220,8 @@ impl CusumDetector {
         if depth > 24 {
             return;
         }
-        let Some((split, confidence)) = self.test_segment(xs, prefix, lo, hi, rng, scratch) else {
+        let Some((split, confidence)) = self.test_segment(xs, prefix, lo, hi, rng, scratch, prune)
+        else {
             return;
         };
         if split < self.config.min_segment || n - split < self.config.min_segment {
@@ -186,13 +241,34 @@ impl CusumDetector {
             magnitude,
             direction,
         });
-        self.segment(xs, prefix, lo, lo + split, out, rng, scratch, depth + 1);
-        self.segment(xs, prefix, lo + split, hi, out, rng, scratch, depth + 1);
+        self.segment(
+            xs,
+            prefix,
+            lo,
+            lo + split,
+            out,
+            rng,
+            scratch,
+            depth + 1,
+            prune,
+        );
+        self.segment(
+            xs,
+            prefix,
+            lo + split,
+            hi,
+            out,
+            rng,
+            scratch,
+            depth + 1,
+            prune,
+        );
     }
 
     /// Taylor's bootstrap test on `xs[lo..hi]`: returns `(split_index,
     /// confidence)` — the split relative to `lo` — when a significant
     /// change exists in the segment.
+    #[allow(clippy::too_many_arguments)]
     fn test_segment(
         &self,
         xs: &[f64],
@@ -201,6 +277,7 @@ impl CusumDetector {
         hi: usize,
         rng: &mut SmallRng,
         scratch: &mut [f64],
+        prune: bool,
     ) -> Option<(usize, f64)> {
         let n = hi - lo;
         let mean = (prefix[hi] - prefix[lo]) / n as f64;
@@ -228,8 +305,9 @@ impl CusumDetector {
         // CUSUM span? A real change keeps the original span extreme.
         let shuffled = &mut scratch[..n];
         shuffled.copy_from_slice(&xs[lo..hi]);
+        let bootstraps = self.config.bootstraps;
         let mut below = 0usize;
-        for _ in 0..self.config.bootstraps {
+        for done in 1..=bootstraps {
             shuffled.shuffle(rng);
             let mut acc = 0.0;
             let mut span_lo = f64::INFINITY;
@@ -242,8 +320,21 @@ impl CusumDetector {
             if span_hi - span_lo < s_diff {
                 below += 1;
             }
+            // Rejection-certain pruning: once even a perfect run of
+            // remaining successes cannot reach the confidence threshold,
+            // the verdict is fixed — fast-forward the RNG over the draws
+            // the skipped reshuffles would have made (exactly `n - 1`
+            // each) so every later segment sees an unchanged stream.
+            let remaining = bootstraps - done;
+            if prune
+                && remaining > 0
+                && ((below + remaining) as f64 / bootstraps as f64) < self.config.confidence
+            {
+                rng.advance((remaining * (n - 1)) as u64);
+                return None;
+            }
         }
-        let confidence = below as f64 / self.config.bootstraps as f64;
+        let confidence = below as f64 / bootstraps as f64;
         if confidence < self.config.confidence {
             return None;
         }
@@ -351,6 +442,40 @@ mod tests {
     }
 
     #[test]
+    fn pruned_detection_is_bit_identical() {
+        // Signals mixing accepted and rejected segments, so the pruned
+        // bootstrap's RNG fast-forward is exercised mid-recursion: a
+        // rejected left child must leave the right child's reshuffles
+        // untouched.
+        use rand::Rng;
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut signals: Vec<Vec<f64>> = vec![
+            step(5.0, 25.0, 40, 100),
+            vec![7.0; 80],
+            (0..150)
+                .map(|i| if i < 70 { 10.0 } else { 20.0 } + ((i * 7) % 5) as f64)
+                .collect(),
+        ];
+        let mut multi = step(5.0, 25.0, 40, 80);
+        multi.extend(step(25.0, 60.0, 20, 60));
+        signals.push(multi);
+        signals.push((0..120).map(|_| rng.gen::<f64>() * 30.0).collect());
+        signals.push(
+            (0..200)
+                .map(|i| (if i % 90 < 45 { 3.0 } else { 19.0 }) + rng.gen::<f64>())
+                .collect(),
+        );
+        let d = CusumDetector::default();
+        let (mut prefix, mut scratch) = (Vec::new(), Vec::new());
+        let (mut plain, mut pruned) = (Vec::new(), Vec::new());
+        for (i, xs) in signals.iter().enumerate() {
+            d.detect_into(xs, &mut prefix, &mut scratch, &mut plain);
+            d.detect_into_pruned(xs, &mut prefix, &mut scratch, &mut pruned);
+            assert_eq!(plain, pruned, "signal {i}: pruning changed the result");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "min_segment")]
     fn tiny_min_segment_rejected() {
         let _ = CusumDetector::new(CusumConfig {
@@ -384,6 +509,17 @@ mod proptests {
                 prop_assert!(cp.magnitude <= span + 1e-9);
                 prop_assert!((0.0..=1.0).contains(&cp.confidence));
             }
+        }
+
+        /// Bootstrap pruning never changes the detected change points.
+        #[test]
+        fn pruned_matches_plain(xs in proptest::collection::vec(0.0f64..100.0, 0..200)) {
+            let d = CusumDetector::default();
+            let (mut prefix, mut scratch) = (Vec::new(), Vec::new());
+            let (mut plain, mut pruned) = (Vec::new(), Vec::new());
+            d.detect_into(&xs, &mut prefix, &mut scratch, &mut plain);
+            d.detect_into_pruned(&xs, &mut prefix, &mut scratch, &mut pruned);
+            prop_assert_eq!(plain, pruned);
         }
 
         /// A large clean step is always detected.

@@ -21,6 +21,8 @@
 
 mod cusum;
 mod outlier;
+mod streaming;
 
 pub use cusum::{ChangePoint, CusumConfig, CusumDetector, Trend};
 pub use outlier::{magnitude_outliers, OutlierConfig};
+pub use streaming::StreamingCusum;

@@ -177,6 +177,7 @@ impl DegradedCampaign {
                 "hosts": self.hosts,
                 "slave_deadline_ms": self.config.slave_deadline_ms,
                 "slave_retries": self.config.slave_retries,
+                "engine": self.config.engine.to_string(),
             },
             "sweep": points.iter().map(|p| json!({
                 "loss_rate": p.loss_rate,

@@ -13,6 +13,9 @@
 //!   tick, with windowing and slicing helpers.
 //! * [`RingBuffer`] — fixed-capacity recent-history buffer used by the
 //!   online slave modules.
+//! * [`PercentileSketch`] — exact sliding-window order statistics, the
+//!   incrementally maintained expected-error anchor of the streaming
+//!   analysis engine.
 //! * [`stats`] — descriptive statistics (mean, variance, percentiles,
 //!   histograms, Kullback–Leibler divergence).
 //! * [`smooth`] — moving-average smoothing (PAL-style noise removal).
@@ -41,6 +44,7 @@
 mod kinds;
 mod ring;
 mod series;
+mod sketch;
 
 pub mod fft;
 pub mod smooth;
@@ -50,6 +54,7 @@ pub mod tangent;
 pub use kinds::{ComponentId, MetricId, MetricKind};
 pub use ring::RingBuffer;
 pub use series::TimeSeries;
+pub use sketch::PercentileSketch;
 
 /// Simulation/monitoring time in whole seconds since the start of a run.
 ///

@@ -96,9 +96,44 @@ impl RingBuffer {
     /// Retained samples in oldest-first order.
     pub fn to_vec(&self) -> Vec<f64> {
         let mut out = Vec::with_capacity(self.data.len());
-        out.extend_from_slice(&self.data[self.head..]);
-        out.extend_from_slice(&self.data[..self.head]);
+        let (a, b) = self.as_slices();
+        out.extend_from_slice(a);
+        out.extend_from_slice(b);
         out
+    }
+
+    /// Retained samples as two contiguous slices, oldest-first: chaining
+    /// the first and second slice yields the same sequence as
+    /// [`RingBuffer::to_vec`], without copying. The streaming analysis
+    /// engine scans these in place for its fast screen.
+    #[inline]
+    pub fn as_slices(&self) -> (&[f64], &[f64]) {
+        (&self.data[self.head..], &self.data[..self.head])
+    }
+
+    /// The sample at oldest-first position `idx` (so `get(0)` is the
+    /// oldest retained sample), or `None` past the end.
+    #[inline]
+    pub fn get(&self, idx: usize) -> Option<f64> {
+        if idx >= self.data.len() {
+            return None;
+        }
+        let physical = if self.data.len() < self.capacity {
+            idx
+        } else {
+            (self.head + idx) % self.capacity
+        };
+        Some(self.data[physical])
+    }
+
+    /// Clears `out` and refills it with the retained samples oldest-first
+    /// — [`RingBuffer::to_vec`] without the allocation once `out` has
+    /// grown to capacity.
+    pub fn copy_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        let (a, b) = self.as_slices();
+        out.extend_from_slice(a);
+        out.extend_from_slice(b);
     }
 
     /// The `n` most recent samples (or fewer if not enough retained),
@@ -155,6 +190,25 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_capacity_panics() {
         let _ = RingBuffer::new(0);
+    }
+
+    #[test]
+    fn slices_get_and_copy_into_agree_with_to_vec() {
+        let mut r = RingBuffer::new(4);
+        let mut scratch = Vec::new();
+        for (i, v) in (0..11).map(|i| (i, i as f64 * 1.5)) {
+            r.push(v);
+            let expect = r.to_vec();
+            let (a, b) = r.as_slices();
+            let chained: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+            assert_eq!(chained, expect, "as_slices after push {i}");
+            for (idx, &want) in expect.iter().enumerate() {
+                assert_eq!(r.get(idx), Some(want), "get({idx}) after push {i}");
+            }
+            assert_eq!(r.get(expect.len()), None);
+            r.copy_into(&mut scratch);
+            assert_eq!(scratch, expect, "copy_into after push {i}");
+        }
     }
 }
 

@@ -1,0 +1,223 @@
+//! Exact sliding-window percentile sketch.
+//!
+//! FChain's selection step anchors its expected-error threshold on order
+//! statistics (p90/p99/max) of the *normal-behaviour* span of the
+//! prediction-error series. The batch path re-sorts that span at every
+//! violation; the streaming analysis engine instead maintains the span's
+//! multiset incrementally as samples arrive, so the anchor is readable in
+//! O(1) at violation time.
+//!
+//! "Sketch" here means *incrementally maintained summary*, not *lossy
+//! approximation*: the window's full multiset is retained (a sorted vector
+//! plus insertion order), so every percentile matches a fresh
+//! [`crate::stats::percentile`] over the same span bit for bit — the
+//! property the engine-parity guarantee rests on. Space is O(window) and
+//! each update is one binary search plus a vector shift; for the spans
+//! FChain keeps (hundreds of samples) that is a few hundred nanoseconds.
+
+use crate::stats;
+use std::collections::VecDeque;
+
+/// An exact percentile sketch over a FIFO window of samples.
+///
+/// [`PercentileSketch::push`] appends a sample; [`PercentileSketch::pop_oldest`]
+/// retires the oldest one (the caller decides the window policy, because
+/// FChain's normal-behaviour span slides only once the metric's ring is in
+/// steady state). Percentile queries interpolate exactly like
+/// [`crate::stats::percentile`].
+///
+/// Samples must not be NaN (the batch percentile path panics on NaN for
+/// the same reason: ordering is undefined).
+///
+/// # Examples
+///
+/// ```
+/// use fchain_metrics::{stats, PercentileSketch};
+///
+/// let mut sketch = PercentileSketch::new();
+/// for v in [4.0, 1.0, 3.0, 2.0] {
+///     sketch.push(v);
+/// }
+/// sketch.pop_oldest(); // retire 4.0; window is now [1.0, 3.0, 2.0]
+/// assert_eq!(sketch.percentile(50.0), stats::percentile(&[1.0, 3.0, 2.0], 50.0));
+/// assert_eq!(sketch.max(), Some(3.0));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PercentileSketch {
+    /// The window's multiset in ascending order.
+    sorted: Vec<f64>,
+    /// The same samples in arrival order, for exact retirement.
+    arrivals: VecDeque<f64>,
+}
+
+impl PercentileSketch {
+    /// Creates an empty sketch.
+    pub fn new() -> Self {
+        PercentileSketch::default()
+    }
+
+    /// Number of samples currently in the window.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Whether the window is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// Drops every sample (e.g. after a monitoring outage resets the
+    /// series); retains the allocations.
+    pub fn clear(&mut self) {
+        self.sorted.clear();
+        self.arrivals.clear();
+    }
+
+    /// Appends `x` to the window.
+    pub fn push(&mut self, x: f64) {
+        debug_assert!(!x.is_nan(), "NaN sample in percentile sketch");
+        let at = self.sorted.partition_point(|&v| v < x);
+        self.sorted.insert(at, x);
+        self.arrivals.push_back(x);
+    }
+
+    /// Retires the oldest sample, returning it (or `None` when empty).
+    pub fn pop_oldest(&mut self) -> Option<f64> {
+        let x = self.arrivals.pop_front()?;
+        // Lower bound lands on the first element numerically equal to `x`
+        // (any of an equal run is interchangeable for the multiset).
+        let at = self.sorted.partition_point(|&v| v < x);
+        debug_assert!(self.sorted.get(at).is_some_and(|&v| v == x));
+        self.sorted.remove(at);
+        Some(x)
+    }
+
+    /// Replaces the window with `samples` (arrival order), retaining
+    /// allocations. Used when a metric first reaches steady state and the
+    /// existing span is adopted wholesale.
+    pub fn rebuild<I: IntoIterator<Item = f64>>(&mut self, samples: I) {
+        self.clear();
+        self.arrivals.extend(samples);
+        self.sorted.extend(self.arrivals.iter().copied());
+        self.sorted
+            .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample in percentile sketch"));
+    }
+
+    /// The window's multiset in ascending order.
+    #[inline]
+    pub fn sorted(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Interpolated percentile `p ∈ [0, 100]`, or `None` when empty.
+    /// Matches [`crate::stats::percentile`] over the same window exactly.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        stats::percentile_sorted(&self.sorted, p)
+    }
+
+    /// Largest sample in the window, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_a_sliding_window_exactly() {
+        let values: Vec<f64> = (0..40).map(|i| ((i * 37) % 17) as f64 * 0.5).collect();
+        let window = 9usize;
+        let mut sketch = PercentileSketch::new();
+        for (i, &v) in values.iter().enumerate() {
+            sketch.push(v);
+            if sketch.len() > window {
+                let popped = sketch.pop_oldest();
+                assert_eq!(popped, Some(values[i - window]));
+            }
+            let live = &values[(i + 1).saturating_sub(window)..=i];
+            for p in [0.0, 50.0, 90.0, 99.0, 100.0] {
+                assert_eq!(
+                    sketch.percentile(p),
+                    stats::percentile(live, p),
+                    "p{p} at {i}"
+                );
+            }
+            assert_eq!(sketch.max(), stats::max(live));
+            assert_eq!(sketch.len(), live.len());
+        }
+    }
+
+    #[test]
+    fn duplicates_retire_one_at_a_time() {
+        let mut sketch = PercentileSketch::new();
+        for v in [2.0, 2.0, 2.0, 1.0] {
+            sketch.push(v);
+        }
+        assert_eq!(sketch.pop_oldest(), Some(2.0));
+        assert_eq!(sketch.sorted(), &[1.0, 2.0, 2.0]);
+        assert_eq!(sketch.pop_oldest(), Some(2.0));
+        assert_eq!(sketch.sorted(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn rebuild_matches_incremental_pushes() {
+        let values = [5.0, -1.0, 3.5, 3.5, 0.0];
+        let mut incremental = PercentileSketch::new();
+        for &v in &values {
+            incremental.push(v);
+        }
+        let mut rebuilt = PercentileSketch::new();
+        rebuilt.push(99.0); // must be discarded by rebuild
+        rebuilt.rebuild(values);
+        assert_eq!(rebuilt.sorted(), incremental.sorted());
+        // Retirement order follows arrival order after a rebuild too.
+        assert_eq!(rebuilt.pop_oldest(), Some(5.0));
+        assert_eq!(incremental.pop_oldest(), Some(5.0));
+        assert_eq!(rebuilt.sorted(), incremental.sorted());
+    }
+
+    #[test]
+    fn empty_sketch_answers_none() {
+        let mut sketch = PercentileSketch::new();
+        assert!(sketch.is_empty());
+        assert_eq!(sketch.percentile(50.0), None);
+        assert_eq!(sketch.max(), None);
+        assert_eq!(sketch.pop_oldest(), None);
+        sketch.push(1.0);
+        sketch.clear();
+        assert!(sketch.is_empty());
+        assert_eq!(sketch.max(), None);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Against arbitrary push/pop interleavings the sketch matches a
+        /// fresh sort+percentile of the surviving window, bit for bit.
+        #[test]
+        fn matches_fresh_percentile(
+            values in proptest::collection::vec(-1e6f64..1e6, 1..80),
+            window in 1usize..20,
+            p in 0.0f64..100.0,
+        ) {
+            let mut sketch = PercentileSketch::new();
+            for (i, &v) in values.iter().enumerate() {
+                sketch.push(v);
+                if sketch.len() > window {
+                    sketch.pop_oldest();
+                }
+                let live = &values[(i + 1).saturating_sub(window)..=i];
+                prop_assert_eq!(sketch.percentile(p), stats::percentile(live, p));
+                prop_assert_eq!(sketch.max(), stats::max(live));
+            }
+        }
+    }
+}

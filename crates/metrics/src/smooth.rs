@@ -22,14 +22,31 @@ use crate::TimeSeries;
 /// assert_eq!(smoothed.len(), 5);
 /// ```
 pub fn moving_average(xs: &[f64], half: usize) -> Vec<f64> {
+    let mut prefix = Vec::new();
+    let mut out = Vec::new();
+    moving_average_into(xs, half, &mut prefix, &mut out);
+    out
+}
+
+/// [`moving_average`] with caller-owned buffers.
+///
+/// `prefix` and `out` are cleared and refilled; holding them across calls
+/// makes repeated smoothing allocation-free after warm-up (the streaming
+/// analysis engine smooths the same look-back window at every violation).
+/// The arithmetic — prefix construction and per-sample window mean — is
+/// byte-for-byte the batch routine, so results are bit-identical.
+pub fn moving_average_into(xs: &[f64], half: usize, prefix: &mut Vec<f64>, out: &mut Vec<f64>) {
+    out.clear();
     if half == 0 || xs.len() <= 1 {
-        return xs.to_vec();
+        out.extend_from_slice(xs);
+        return;
     }
     let n = xs.len();
-    let mut out = Vec::with_capacity(n);
+    out.reserve(n);
     // Prefix sums make each output O(1); the slave runs this on every
     // look-back window so it must stay linear.
-    let mut prefix = Vec::with_capacity(n + 1);
+    prefix.clear();
+    prefix.reserve(n + 1);
     prefix.push(0.0);
     for &x in xs {
         prefix.push(prefix.last().copied().unwrap_or(0.0) + x);
@@ -40,7 +57,6 @@ pub fn moving_average(xs: &[f64], half: usize) -> Vec<f64> {
         let sum = prefix[hi + 1] - prefix[lo];
         out.push(sum / (hi - lo + 1) as f64);
     }
-    out
 }
 
 /// Smooths a [`TimeSeries`] in place of its samples, preserving anchoring.

@@ -106,11 +106,25 @@ pub enum Counter {
     EvalRuns,
     /// Campaign runs whose SLO fired and were diagnosed.
     EvalDiagnoses,
+    /// Out-of-order or duplicate-tick samples dropped at ingest (the
+    /// monitoring feed replayed or reordered data; the series keeps its
+    /// first-seen value per tick).
+    IngestDroppedSamples,
+    /// Ticks bridged by carrying the last value across a short monitoring
+    /// gap at ingest.
+    IngestGapTicksBridged,
+    /// Metric series reset after a monitoring outage longer than the
+    /// gap-fill limit.
+    IngestSeriesResets,
+    /// Metrics the streaming engine short-circuited at violation time:
+    /// the window-maximum prediction error never exceeded the error
+    /// floor, so no change point could have been accepted.
+    StreamingScreened,
 }
 
 impl Counter {
     /// Every counter, in registry order.
-    pub const ALL: [Counter; 14] = [
+    pub const ALL: [Counter; 18] = [
         Counter::MetricsAnalyzed,
         Counter::ComponentsAnalyzed,
         Counter::ChangePointCandidates,
@@ -125,6 +139,10 @@ impl Counter {
         Counter::ValidationRemoved,
         Counter::EvalRuns,
         Counter::EvalDiagnoses,
+        Counter::IngestDroppedSamples,
+        Counter::IngestGapTicksBridged,
+        Counter::IngestSeriesResets,
+        Counter::StreamingScreened,
     ];
 
     /// The counter's slot in the static registry.
@@ -151,6 +169,10 @@ impl Counter {
             Counter::ValidationRemoved => "validation_removed",
             Counter::EvalRuns => "eval_runs",
             Counter::EvalDiagnoses => "eval_diagnoses",
+            Counter::IngestDroppedSamples => "ingest_dropped_samples",
+            Counter::IngestGapTicksBridged => "ingest_gap_ticks_bridged",
+            Counter::IngestSeriesResets => "ingest_series_resets",
+            Counter::StreamingScreened => "streaming_screened",
         }
     }
 }

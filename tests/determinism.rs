@@ -1,37 +1,52 @@
-//! Parallel/sequential parity: the sharded, multi-threaded diagnosis path
-//! (parallel `SlaveDaemon::analyze_all` + parallel master collection) must
-//! produce bit-identical reports to the single-threaded reference for the
-//! same seeded campaign cases.
+//! Parallel/sequential and batch/streaming parity: the sharded,
+//! multi-threaded diagnosis path (parallel `SlaveDaemon::analyze_all` +
+//! parallel master collection) must produce bit-identical reports to the
+//! single-threaded reference for the same seeded campaign cases, and the
+//! streaming analysis engine must produce bit-identical findings to the
+//! batch reference — over seeded simulator campaigns and over adversarial
+//! synthetic streams (gaps, duplicates, out-of-order ticks, outages that
+//! reset the series, injected step faults).
 
 use fchain::core::master::Master;
 use fchain::core::slave::{MetricSample, SlaveDaemon};
-use fchain::core::{FChainConfig, FaultySlave, SlaveEndpoint, SlaveFault};
+use fchain::core::{AnalysisEngine, FChainConfig, FaultySlave, SlaveEndpoint, SlaveFault};
 use fchain::eval::case_from_run;
-use fchain::metrics::MetricKind;
+use fchain::metrics::{ComponentId, MetricKind};
 use fchain::sim::{AppKind, FaultKind, RunConfig, Simulator};
+use proptest::prelude::*;
 use std::sync::Arc;
+
+/// The default config with the given engine selected.
+fn engine_config(engine: AnalysisEngine) -> FChainConfig {
+    FChainConfig {
+        engine,
+        ..FChainConfig::default()
+    }
+}
 
 /// Simulates one seeded run, streams every component's metrics into
 /// per-host slave daemons (two hosts, components split round-robin, so the
 /// master-level fan-out is exercised too), and returns the wired master
 /// plus the violation tick.
 fn master_from_seeded_run(app: AppKind, fault: FaultKind, seed: u64) -> Option<(Master, u64)> {
-    master_from_seeded_run_wrapped(app, fault, seed, false)
+    master_from_seeded_run_with(app, fault, seed, false, &FChainConfig::default())
 }
 
 /// Like [`master_from_seeded_run`], optionally wrapping every slave in a
 /// no-op [`FaultySlave`] — the endpoint indirection with fault injection
-/// disabled must be invisible in the reports.
-fn master_from_seeded_run_wrapped(
+/// disabled must be invisible in the reports — and with an explicit
+/// config so the analysis engine can be selected.
+fn master_from_seeded_run_with(
     app: AppKind,
     fault: FaultKind,
     seed: u64,
     wrap: bool,
+    config: &FChainConfig,
 ) -> Option<(Master, u64)> {
     let run = Simulator::new(RunConfig::new(app, fault, seed)).run();
     let case = case_from_run(&run, 100)?;
     let hosts: Vec<Arc<SlaveDaemon>> = (0..2)
-        .map(|_| Arc::new(SlaveDaemon::new(FChainConfig::default())))
+        .map(|_| Arc::new(SlaveDaemon::new(config.clone())))
         .collect();
     for (i, component) in case.components.iter().enumerate() {
         let host = &hosts[i % hosts.len()];
@@ -46,7 +61,7 @@ fn master_from_seeded_run_wrapped(
             }
         }
     }
-    let mut master = Master::new(FChainConfig::default());
+    let mut master = Master::new(config.clone());
     for host in hosts {
         if wrap {
             master.register_slave(Arc::new(FaultySlave::new(
@@ -115,9 +130,14 @@ fn disabled_fault_injection_is_invisible() {
         else {
             continue;
         };
-        let (wrapped, _) =
-            master_from_seeded_run_wrapped(AppKind::Rubis, FaultKind::CpuHog, seed, true)
-                .expect("same seed must produce the same case");
+        let (wrapped, _) = master_from_seeded_run_with(
+            AppKind::Rubis,
+            FaultKind::CpuHog,
+            seed,
+            true,
+            &FChainConfig::default(),
+        )
+        .expect("same seed must produce the same case");
         let reference = plain.on_violation(violation_at);
         assert_eq!(
             reference,
@@ -132,4 +152,148 @@ fn disabled_fault_injection_is_invisible() {
         compared += 1;
     }
     assert!(compared >= 3, "only {compared} seeded cases fired");
+}
+
+/// The streaming engine must produce bit-identical reports to the batch
+/// reference on full seeded campaigns (daemon ingest → master fan-out →
+/// pinpointing), with the engine choice correctly stamped on each report.
+#[test]
+fn batch_and_streaming_engines_agree_on_seeded_runs() {
+    let cases = [
+        (AppKind::Rubis, FaultKind::CpuHog, 900u64),
+        (AppKind::Rubis, FaultKind::CpuHog, 901),
+        (AppKind::Hadoop, FaultKind::ConcurrentMemLeak, 40),
+        (AppKind::SystemS, FaultKind::MemLeak, 500),
+    ];
+    let mut compared = 0;
+    for (app, fault, seed) in cases {
+        let batch_cfg = engine_config(AnalysisEngine::Batch);
+        let streaming_cfg = engine_config(AnalysisEngine::Streaming);
+        let Some((batch, violation_at)) =
+            master_from_seeded_run_with(app, fault, seed, false, &batch_cfg)
+        else {
+            continue;
+        };
+        let (streaming, _) = master_from_seeded_run_with(app, fault, seed, false, &streaming_cfg)
+            .expect("same seed must produce the same case");
+        let batch_report = batch.on_violation(violation_at);
+        let streaming_report = streaming.on_violation(violation_at);
+        // `DiagnosisReport::eq` ignores the provenance fields, so this is
+        // exactly "same verdict, same pinpointing, same findings, bit for
+        // bit".
+        assert_eq!(
+            batch_report, streaming_report,
+            "{app:?}/{fault:?} seed {seed}: engines diverge"
+        );
+        assert_eq!(batch_report.engine, AnalysisEngine::Batch);
+        assert_eq!(streaming_report.engine, AnalysisEngine::Streaming);
+        compared += 1;
+    }
+    assert!(compared >= 3, "only {compared} seeded cases fired");
+}
+
+/// One synthetic metric stream with adversarial ingest conditions: a
+/// modular baseline, an optional injected step fault, a dropped tick
+/// range (bridged gap, or a series-resetting outage when long enough) and
+/// periodic duplicate + out-of-order replays.
+#[derive(Debug, Clone)]
+struct StreamPlan {
+    base: f64,
+    modulus: u64,
+    fault_at: Option<u64>,
+    fault_delta: f64,
+    gap_start: u64,
+    gap_len: u64,
+    dup_every: u64,
+}
+
+impl StreamPlan {
+    fn value_at(&self, t: u64, kind: MetricKind) -> f64 {
+        let normal = self.base + ((t * (kind.index() as u64 + 2)) % self.modulus) as f64;
+        match self.fault_at {
+            Some(at) if t >= at && kind == MetricKind::Cpu => normal + self.fault_delta,
+            _ => normal,
+        }
+    }
+
+    fn feed(&self, daemon: &SlaveDaemon, component: ComponentId, n: u64) {
+        for kind in MetricKind::ALL {
+            for t in 0..n {
+                if t >= self.gap_start && t < self.gap_start + self.gap_len {
+                    continue;
+                }
+                let mk = |tick: u64| MetricSample {
+                    tick,
+                    component,
+                    kind,
+                    value: self.value_at(tick, kind),
+                };
+                daemon.ingest(mk(t));
+                if self.dup_every > 0 && t % self.dup_every == 0 {
+                    daemon.ingest(mk(t)); // duplicate tick: dropped
+                    if t > 0 {
+                        daemon.ingest(mk(t - 1)); // out-of-order: dropped
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Over arbitrary adversarial streams the two engines' daemon
+    /// analyses are bit-identical — at the live edge (where the streaming
+    /// engine reads its sketch-backed floor and fast screen), with a
+    /// trimmed tail, and mid-history.
+    #[test]
+    fn engines_bit_identical_over_adversarial_streams(
+        n in 260u64..420,
+        base in 10.0f64..80.0,
+        modulus in 2u64..7,
+        fault in proptest::option::of((180u64..240, 20.0f64..60.0)),
+        gap_start in 100u64..200,
+        // Up to 40 dropped ticks: beyond the 30-tick bridge limit this
+        // exercises the series-reset path too.
+        gap_len in 0u64..40,
+        dup_every in 0u64..9,
+    ) {
+        let plans = [
+            StreamPlan {
+                base,
+                modulus,
+                fault_at: fault.map(|(at, _)| at),
+                fault_delta: fault.map(|(_, d)| d).unwrap_or(0.0),
+                gap_start,
+                gap_len,
+                dup_every,
+            },
+            // A second, clean component without ingest anomalies.
+            StreamPlan {
+                base: 40.0,
+                modulus: 5,
+                fault_at: None,
+                fault_delta: 0.0,
+                gap_start: 0,
+                gap_len: 0,
+                dup_every: 0,
+            },
+        ];
+        let batch = SlaveDaemon::new(engine_config(AnalysisEngine::Batch));
+        let streaming = SlaveDaemon::new(engine_config(AnalysisEngine::Streaming));
+        for daemon in [&batch, &streaming] {
+            for (i, plan) in plans.iter().enumerate() {
+                plan.feed(daemon, ComponentId(i as u32), n);
+            }
+        }
+        prop_assert_eq!(batch.monitored_components(), streaming.monitored_components());
+        for violation_at in [n - 1, n.saturating_sub(7), n / 2] {
+            prop_assert_eq!(
+                batch.analyze_all_sequential(violation_at),
+                streaming.analyze_all_sequential(violation_at),
+                "engines diverge at violation tick {}", violation_at
+            );
+        }
+    }
 }

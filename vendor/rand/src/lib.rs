@@ -178,6 +178,7 @@ fn rotl(x: u64, k: u32) -> u64 {
 /// Named generators.
 pub mod rngs {
     use super::*;
+    use std::sync::OnceLock;
 
     /// A small, fast deterministic generator (xoshiro256++).
     #[derive(Debug, Clone, PartialEq, Eq)]
@@ -205,6 +206,99 @@ pub mod rngs {
             s[2] ^= t;
             s[3] = rotl(s[3], 45);
             result
+        }
+    }
+
+    /// The xoshiro256 state transition (sans output scrambler) as a
+    /// pure function of the 256-bit state. Every operation is an XOR,
+    /// shift or rotate, so the map is linear over GF(2) — which is what
+    /// makes [`SmallRng::advance`] possible.
+    fn xoshiro_step(mut s: [u64; 4]) -> [u64; 4] {
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = rotl(s[3], 45);
+        s
+    }
+
+    /// A 256×256 bit-matrix over GF(2): row `i` is the image of basis
+    /// state-bit `i` under some power of the xoshiro transition.
+    type JumpMatrix = Vec<[u64; 4]>;
+
+    /// `apply(m, v)` = `m · v`: XOR of the rows selected by the set bits
+    /// of `v`.
+    fn apply(m: &JumpMatrix, v: [u64; 4]) -> [u64; 4] {
+        let mut out = [0u64; 4];
+        for (word, &bits) in v.iter().enumerate() {
+            let mut bits = bits;
+            while bits != 0 {
+                let bit = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let row = m[word * 64 + bit];
+                for (o, r) in out.iter_mut().zip(row) {
+                    *o ^= r;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrices for the transition to the power `2^j`, `j = 0..64`,
+    /// built once on first use (repeated squaring of the one-step
+    /// matrix).
+    fn jump_matrices() -> &'static [JumpMatrix; 64] {
+        static MATRICES: OnceLock<Box<[JumpMatrix; 64]>> = OnceLock::new();
+        MATRICES.get_or_init(|| {
+            let mut mats: Vec<JumpMatrix> = Vec::with_capacity(64);
+            let step: JumpMatrix = (0..256)
+                .map(|i| {
+                    let mut basis = [0u64; 4];
+                    basis[i / 64] = 1u64 << (i % 64);
+                    xoshiro_step(basis)
+                })
+                .collect();
+            mats.push(step);
+            for j in 1..64 {
+                let prev = &mats[j - 1];
+                let sq: JumpMatrix = prev.iter().map(|&row| apply(prev, row)).collect();
+                mats.push(sq);
+            }
+            let array: [JumpMatrix; 64] = mats.try_into().expect("64 matrices");
+            Box::new(array)
+        })
+    }
+
+    impl SmallRng {
+        /// Advances the generator by exactly `n` steps: afterwards the
+        /// state (and therefore every future draw) is identical to
+        /// having called [`RngCore::next_u64`] `n` times and discarded
+        /// the results.
+        ///
+        /// Small jumps spin the generator directly; large ones apply
+        /// precomputed GF(2) jump matrices, so the cost is
+        /// `O(log n)` matrix-vector products instead of `O(n)` draws.
+        /// Used by deterministic consumers that can prove a stretch of
+        /// draws cannot affect their result but must keep the stream
+        /// position bit-exact.
+        pub fn advance(&mut self, n: u64) {
+            // Below ~2k steps the plain spin is cheaper than ~11+
+            // matrix applications.
+            if n < 2048 {
+                for _ in 0..n {
+                    self.next_u64();
+                }
+                return;
+            }
+            let mats = jump_matrices();
+            let mut n = n;
+            while n != 0 {
+                let j = n.trailing_zeros() as usize;
+                n &= n - 1;
+                self.s = apply(&mats[j], self.s);
+            }
         }
     }
 
@@ -311,6 +405,34 @@ mod tests {
             let u: f64 = rng.gen();
             assert!((0.0..1.0).contains(&u));
         }
+    }
+
+    #[test]
+    fn advance_matches_spinning_the_generator() {
+        // Cross the spin/matrix threshold in both directions.
+        for k in [0u64, 1, 2, 63, 64, 100, 2047, 2048, 5000, 123_457] {
+            let mut jumped = SmallRng::seed_from_u64(99);
+            let mut spun = SmallRng::seed_from_u64(99);
+            jumped.advance(k);
+            for _ in 0..k {
+                spun.next_u64();
+            }
+            assert_eq!(
+                (0..4).map(|_| jumped.next_u64()).collect::<Vec<_>>(),
+                (0..4).map(|_| spun.next_u64()).collect::<Vec<_>>(),
+                "advance({k}) diverged from {k} discarded draws"
+            );
+        }
+    }
+
+    #[test]
+    fn advance_composes() {
+        let mut split = SmallRng::seed_from_u64(7);
+        split.advance(40_000);
+        split.advance(11_111);
+        let mut whole = SmallRng::seed_from_u64(7);
+        whole.advance(51_111);
+        assert_eq!(split.next_u64(), whole.next_u64());
     }
 
     #[test]
