@@ -1,0 +1,124 @@
+//! Fleet-scale drain throughput: diagnoses/sec and violation-to-report
+//! latency as the tenant count grows, over one shared slave-daemon pool.
+//!
+//! The paper deploys one FChain master per application; the fleet layer
+//! multiplexes many tenants through one [`fchain_core::FleetMaster`].
+//! Slave RPCs carry a simulated network latency, so fleet throughput
+//! comes from overlapping those waits across per-tenant lanes — exactly
+//! the win a real fleet master gets, and one that survives a single-CPU
+//! runner. The sweep covers tenant counts {1, 4, 8, 32} plus an
+//! isolation scenario (one tenant with a straggler slave stalled past
+//! the deadline budget) and writes `BENCH_fleet.json` at the repository
+//! root.
+//!
+//! Invariants asserted in-process (CI re-checks the written JSON):
+//! * every seeded tenant's violation is diagnosed at every tenant count;
+//! * 8-tenant throughput is at least 4x the single-tenant drain;
+//! * a stalled tenant burns only its own deadline budget — the healthy
+//!   tenants' p99 stays under the per-slave deadline.
+
+use fchain_core::FChainConfig;
+use fchain_eval::FleetCampaign;
+use serde_json::json;
+
+fn main() {
+    let base = FleetCampaign {
+        rpc_delay_ms: 500,
+        config: FChainConfig {
+            slave_deadline_ms: 3_000,
+            ..FChainConfig::default()
+        },
+        ..FleetCampaign::new(1, 4100)
+    };
+
+    // Warm-up drain: the first drain in a process pays one-time costs
+    // (lazy statics, allocator growth, page faults) that would otherwise
+    // be billed entirely to the single-tenant baseline.
+    let _ = base.evaluate();
+
+    let mut sweep = Vec::new();
+    for tenants in [1usize, 4, 8, 32] {
+        let campaign = FleetCampaign {
+            tenants,
+            ..base.clone()
+        };
+        let result = campaign.evaluate();
+        assert_eq!(
+            result.diagnoses, tenants,
+            "every seeded tenant must produce a violation and a report"
+        );
+        println!(
+            "tenants {:>2}: {:.2} diag/sec, p50 {:.0} ms, p99 {:.0} ms, \
+             P={:.2} R={:.2}",
+            tenants,
+            result.throughput,
+            result.p50_latency_ms,
+            result.p99_latency_ms,
+            result.counts.precision(),
+            result.counts.recall()
+        );
+        sweep.push(result);
+    }
+
+    let single = sweep.iter().find(|r| r.tenants == 1).expect("1-tenant row");
+    let eight = sweep.iter().find(|r| r.tenants == 8).expect("8-tenant row");
+    let scaling = eight.throughput / single.throughput;
+    println!("8-tenant over single-tenant throughput: {scaling:.2}x");
+    assert!(
+        scaling >= 4.0,
+        "fleet drain must overlap slave RPC latency: 8-tenant throughput \
+         {:.2}/s is under 4x the single-tenant {:.2}/s",
+        eight.throughput,
+        single.throughput
+    );
+
+    // Isolation: tenant 0 gets an extra slave stalled past the deadline.
+    // Its own report rides the deadline budget; everyone else's tail must
+    // not inherit that wait.
+    let isolation_campaign = FleetCampaign {
+        tenants: 8,
+        stalled_tenants: 1,
+        stall_ms: base.config.slave_deadline_ms + 2_000,
+        ..base.clone()
+    };
+    let isolation = isolation_campaign.evaluate();
+    assert_eq!(isolation.diagnoses, 8, "the stalled tenant still reports");
+    println!(
+        "isolation (1 of 8 stalled): p99 {:.0} ms, healthy p99 {:.0} ms",
+        isolation.p99_latency_ms, isolation.healthy_p99_latency_ms
+    );
+    assert!(
+        isolation.healthy_p99_latency_ms < base.config.slave_deadline_ms as f64,
+        "healthy tenants' p99 {:.0} ms inherited the stalled tenant's \
+         deadline wait ({} ms budget)",
+        isolation.healthy_p99_latency_ms,
+        base.config.slave_deadline_ms
+    );
+    assert!(
+        isolation.healthy_p99_latency_ms < isolation.p99_latency_ms,
+        "the stalled tenant's own latency must carry the tail"
+    );
+
+    let mut payload = base.to_json(&sweep);
+    let serde_json::Value::Map(entries) = &mut payload else {
+        panic!("to_json must produce a map");
+    };
+    entries.push((
+        serde_json::Value::Str("scaling_8x_over_1".into()),
+        json!(scaling),
+    ));
+    entries.push((
+        serde_json::Value::Str("isolation".into()),
+        json!({
+            "tenants": isolation.tenants,
+            "stalled_tenants": isolation_campaign.stalled_tenants,
+            "stall_ms": isolation_campaign.stall_ms,
+            "p99_latency_ms": isolation.p99_latency_ms,
+            "healthy_p99_latency_ms": isolation.healthy_p99_latency_ms,
+        }),
+    ));
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json");
+    let rendered = serde_json::to_string_pretty(&payload).expect("serializable payload");
+    std::fs::write(path, rendered + "\n").expect("write BENCH_fleet.json");
+    println!("wrote {path}");
+}

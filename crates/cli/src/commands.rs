@@ -5,7 +5,7 @@ use fchain_baselines::{DependencyScheme, HistogramScheme, NetMedic, Pal, Topolog
 use fchain_core::master::Master;
 use fchain_core::slave::{MetricSample, SlaveDaemon};
 use fchain_core::{AnalysisEngine, FChain, FChainConfig, Localizer, PipelineSnapshot, Verdict};
-use fchain_eval::{case_from_run, render, Campaign, DegradedCampaign, OracleProbe};
+use fchain_eval::{case_from_run, render, Campaign, DegradedCampaign, FleetCampaign, OracleProbe};
 use fchain_metrics::MetricKind;
 use fchain_obs as obs;
 use fchain_sim::{AppKind, FaultKind, RunConfig, RunRecord, Simulator, Workload as _};
@@ -370,6 +370,93 @@ pub fn degraded(args: &Args) -> CliResult {
             p.mean_coverage,
             p.diagnoses,
             p.unreachable_slaves
+        );
+    }
+    Ok(())
+}
+
+/// `fchain fleet` — multi-tenant drain: throughput and latency vs.
+/// tenant count.
+pub fn fleet(args: &Args) -> CliResult {
+    let tenant_counts: Vec<usize> = match args.get("tenants") {
+        None => vec![1, 4, 8],
+        Some(raw) => raw
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("invalid tenant count {s:?} (expected >= 1)"))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let config = FChainConfig {
+        slave_deadline_ms: args.get_parsed("slave-deadline-ms", 2_000u64)?,
+        engine: parse_engine(args)?,
+        ..FChainConfig::default()
+    };
+    let base = FleetCampaign {
+        base_seed: args.get_parsed("seed", 4100u64)?,
+        duration: args.get_parsed("duration", 1500u64)?,
+        lookback: args.get_parsed("lookback", 100u64)?,
+        hosts: args.get_parsed("hosts", 2usize)?,
+        rpc_delay_ms: args.get_parsed("rpc-delay-ms", 100u64)?,
+        stalled_tenants: args.get_parsed("stalled", 0usize)?,
+        stall_ms: args.get_parsed("stall-ms", 0u64)?,
+        config,
+        ..FleetCampaign::new(1, 4100)
+    };
+    let mut results = Vec::new();
+    let mut campaign = base.clone();
+    for &tenants in &tenant_counts {
+        campaign.tenants = tenants;
+        results.push(campaign.evaluate());
+    }
+    write_obs_json(args, &obs::snapshot())?;
+
+    if args.has("json") || args.get("out").is_some() {
+        let rendered = serde_json::to_string_pretty(&campaign.to_json(&results))?;
+        match args.get("out") {
+            Some(path) => {
+                std::fs::write(path, &rendered)
+                    .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+                println!("wrote {path}");
+            }
+            None => println!("{rendered}"),
+        }
+        return Ok(());
+    }
+
+    println!(
+        "fleet drain — tenant-mix sweep ({} hosts, {} ms RPC latency, \
+         deadline {} ms{})",
+        base.hosts,
+        base.rpc_delay_ms,
+        base.config.slave_deadline_ms,
+        if base.stalled_tenants > 0 {
+            format!(
+                ", {} tenant(s) stalled {} ms",
+                base.stalled_tenants, base.stall_ms
+            )
+        } else {
+            String::new()
+        }
+    );
+    println!(
+        "  {:>7}  {:>9}  {:>10}  {:>8}  {:>8}  {:>9}  {:>6}",
+        "tenants", "diagnoses", "diag/sec", "p50 ms", "p99 ms", "precision", "recall"
+    );
+    for r in &results {
+        println!(
+            "  {:>7}  {:>9}  {:>10.2}  {:>8.1}  {:>8.1}  {:>9.2}  {:>6.2}",
+            r.tenants,
+            r.diagnoses,
+            r.throughput,
+            r.p50_latency_ms,
+            r.p99_latency_ms,
+            r.counts.precision(),
+            r.counts.recall()
         );
     }
     Ok(())

@@ -6,6 +6,7 @@
 //! fchain diagnose --app rubis --fault memleak --seed 7 [--lookback 100] [--validate] [--json]
 //! fchain compare  --app systems --fault conc_memleak [--runs 30] [--lookback 100]
 //! fchain degraded --app rubis --fault cpuhog [--rates 0,0.25,0.5] [--hosts 4] [--json]
+//! fchain fleet    [--tenants 1,4,8] [--hosts 2] [--rpc-delay-ms 100] [--json]
 //! fchain surge    --app rubis [--seed 1] [--runs 10]
 //! fchain obs      [--app rubis] [--fault cpuhog] [--seed 900] [--hosts 2] [--json]
 //! fchain list
@@ -28,6 +29,7 @@ COMMANDS:
     diagnose  simulate a run and let FChain pinpoint the faulty component(s)
     compare   score FChain against the baseline schemes over a campaign
     degraded  sweep the slave-loss rate and report accuracy/coverage degradation
+    fleet     drain concurrent SLO violations from many tenants through one master
     surge     demonstrate external-factor (workload change) detection
     obs       run one instrumented diagnosis and print the pipeline snapshot
     list      print the available applications, faults and schemes
@@ -54,6 +56,15 @@ DEGRADED-MODE FLAGS (fchain degraded):
     --slave-retries <N>             retry budget for transient slave errors (default 2)
     --slave-backoff-ms <MS>         base backoff between retries (default 1)
     --out <PATH>                    write the JSON sweep to a file
+
+FLEET FLAGS (fchain fleet):
+    --tenants <N1,N2,...>           tenant counts to sweep (default 1,4,8)
+    --hosts <N>                     daemons in the shared pool (default 2)
+    --rpc-delay-ms <MS>             simulated slave RPC latency (default 100)
+    --stalled <N>                   tenants whose extra slave stalls (default 0)
+    --stall-ms <MS>                 stall duration for those slaves (default 0)
+    --slave-deadline-ms <MS>        per-slave response deadline (default 2000)
+    --out <PATH>                    write the JSON sweep to a file
 ";
 
 fn main() -> ExitCode {
@@ -69,6 +80,7 @@ fn main() -> ExitCode {
         Some("diagnose") => commands::diagnose(&args),
         Some("compare") => commands::compare(&args),
         Some("degraded") => commands::degraded(&args),
+        Some("fleet") => commands::fleet(&args),
         Some("surge") => commands::surge(&args),
         Some("obs") => commands::obs(&args),
         Some("list") => commands::list(),

@@ -77,6 +77,90 @@ impl Deserialize for AnalysisEngine {
     }
 }
 
+/// Fleet-layer knobs: how one FChain master serves many tenant
+/// applications concurrently.
+///
+/// The defaults make a fleet of one behave exactly like the single-app
+/// stack (no tenant cap, no per-tenant deadline override), which is what
+/// keeps the fleet-of-one parity suite bit-identical.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetConfig {
+    /// Upper bound on admitted tenants; `0` means unbounded. A bound lets
+    /// a deployment cap the blast radius of a misbehaving control plane.
+    pub max_tenants: usize,
+    /// Seed of the deterministic round-robin scheduler that orders
+    /// concurrent tenant violations into the drain queue. Same seed, same
+    /// violations, same queue — the fleet analogue of the seeded fault
+    /// schedules.
+    pub scheduler_seed: u64,
+    /// Per-tenant slave-response deadline (milliseconds) applied to
+    /// diagnoses driven through the fleet; `0` inherits
+    /// [`FChainConfig::slave_deadline_ms`]. A nonzero budget is what
+    /// isolates tenants: a stalled tenant burns its own budget, never
+    /// another lane's.
+    pub tenant_deadline_ms: u64,
+}
+
+// Hand-written serde impls, for the same reason as [`AnalysisEngine`]'s:
+// a config serialized before the fleet layer existed has no `fleet` field
+// at all (`Content::Null` on lookup), and a partially-specified fleet map
+// fills the unnamed knobs with their defaults.
+impl Serialize for FleetConfig {
+    fn serialize(&self) -> serde::Content {
+        serde::Content::Map(vec![
+            (
+                serde::Content::Str("max_tenants".to_string()),
+                serde::Content::U64(self.max_tenants as u64),
+            ),
+            (
+                serde::Content::Str("scheduler_seed".to_string()),
+                serde::Content::U64(self.scheduler_seed),
+            ),
+            (
+                serde::Content::Str("tenant_deadline_ms".to_string()),
+                serde::Content::U64(self.tenant_deadline_ms),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for FleetConfig {
+    fn deserialize(c: &serde::Content) -> Result<Self, serde::DeError> {
+        fn as_u64(key: &str, c: &serde::Content) -> Result<u64, serde::DeError> {
+            match c {
+                serde::Content::U64(v) => Ok(*v),
+                serde::Content::I64(v) if *v >= 0 => Ok(*v as u64),
+                other => Err(serde::DeError::expected(
+                    match key {
+                        "max_tenants" => "a non-negative tenant count",
+                        "scheduler_seed" => "a scheduler seed",
+                        _ => "a non-negative millisecond budget",
+                    },
+                    other,
+                )),
+            }
+        }
+        match c {
+            serde::Content::Null => Ok(FleetConfig::default()),
+            serde::Content::Map(entries) => {
+                let mut cfg = FleetConfig::default();
+                for (k, v) in entries {
+                    match k.as_str() {
+                        Some("max_tenants") => cfg.max_tenants = as_u64("max_tenants", v)? as usize,
+                        Some("scheduler_seed") => cfg.scheduler_seed = as_u64("scheduler_seed", v)?,
+                        Some("tenant_deadline_ms") => {
+                            cfg.tenant_deadline_ms = as_u64("tenant_deadline_ms", v)?
+                        }
+                        _ => {}
+                    }
+                }
+                Ok(cfg)
+            }
+            other => Err(serde::DeError::expected("a fleet config map", other)),
+        }
+    }
+}
+
 /// All knobs of the FChain system, with the defaults the paper reports
 /// working across every tested application (§III.A): look-back window
 /// `W = 100 s`, burst window `Q = 20 s`, top 90 % frequencies, 90th
@@ -161,6 +245,11 @@ pub struct FChainConfig {
     /// configs lack the field — its `Deserialize` maps absence to the
     /// default.
     pub engine: AnalysisEngine,
+    /// Fleet-layer knobs (tenant cap, scheduler seed, per-tenant deadline
+    /// budget). Configs serialized before the fleet layer existed lack the
+    /// field — its `Deserialize` maps absence to the default, under which
+    /// a fleet of one behaves exactly like the single-app stack.
+    pub fleet: FleetConfig,
     /// Online learner configuration (quantization, decay).
     pub learner: LearnerConfig,
     /// CUSUM + bootstrap configuration.
@@ -189,6 +278,7 @@ impl Default for FChainConfig {
             slave_backoff_ms: 1,
             adaptive_smoothing: false,
             engine: AnalysisEngine::default(),
+            fleet: FleetConfig::default(),
             learner: LearnerConfig::default(),
             cusum: CusumConfig::default(),
             outlier: OutlierConfig::default(),
@@ -233,6 +323,10 @@ impl FChainConfig {
         assert!(
             self.slave_backoff_ms <= 60_000,
             "slave_backoff_ms must stay under a minute"
+        );
+        assert!(
+            self.fleet.tenant_deadline_ms <= 600_000,
+            "tenant_deadline_ms must stay under ten minutes"
         );
     }
 }
@@ -299,6 +393,57 @@ mod tests {
         assert_eq!(c.slave_deadline_ms, 0);
         assert_eq!(c.slave_retries, 2);
         assert_eq!(c.slave_backoff_ms, 1);
+    }
+
+    #[test]
+    fn fleet_defaults_are_the_single_app_stack() {
+        let c = FChainConfig::default();
+        assert_eq!(c.fleet.max_tenants, 0, "unbounded by default");
+        assert_eq!(c.fleet.scheduler_seed, 0);
+        assert_eq!(c.fleet.tenant_deadline_ms, 0, "inherit slave_deadline_ms");
+    }
+
+    #[test]
+    fn fleet_config_survives_serde_and_defaults_when_missing() {
+        let cfg = FChainConfig {
+            fleet: FleetConfig {
+                max_tenants: 32,
+                scheduler_seed: 12345,
+                tenant_deadline_ms: 250,
+            },
+            ..FChainConfig::default()
+        };
+        let json = serde_json::to_string(&cfg).expect("serializable config");
+        let back: FChainConfig = serde_json::from_str(&json).expect("round trip");
+        assert_eq!(back.fleet, cfg.fleet);
+        // Configs serialized before the fleet layer existed must still
+        // load, and land on the defaults.
+        let stripped = json.replace(
+            "\"fleet\":{\"max_tenants\":32,\"scheduler_seed\":12345,\"tenant_deadline_ms\":250},",
+            "",
+        );
+        assert_ne!(stripped, json, "fleet field not found in {json}");
+        let old: FChainConfig = serde_json::from_str(&stripped).expect("legacy config");
+        assert_eq!(old.fleet, FleetConfig::default());
+        // A partially-specified fleet map fills the rest with defaults.
+        let partial: FleetConfig =
+            serde_json::from_str("{\"scheduler_seed\":7}").expect("partial fleet map");
+        assert_eq!(partial.scheduler_seed, 7);
+        assert_eq!(partial.max_tenants, 0);
+        assert_eq!(partial.tenant_deadline_ms, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tenant_deadline_ms")]
+    fn excessive_tenant_deadline_rejected() {
+        let c = FChainConfig {
+            fleet: FleetConfig {
+                tenant_deadline_ms: 1_000_000,
+                ..FleetConfig::default()
+            },
+            ..FChainConfig::default()
+        };
+        c.validate();
     }
 
     #[test]

@@ -126,6 +126,9 @@ impl FChain {
             coverage: crate::report::DiagnosisCoverage::default(),
             snapshot: None,
             engine: self.config.engine,
+            // The in-process API serves one application: the default
+            // tenant.
+            app: fchain_metrics::AppId::default(),
         }
     }
 

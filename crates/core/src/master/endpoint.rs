@@ -12,7 +12,7 @@
 
 use crate::report::ComponentFinding;
 use crate::slave::SlaveDaemon;
-use fchain_metrics::{ComponentId, Tick};
+use fchain_metrics::{AppId, ComponentId, Tick};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -72,6 +72,67 @@ impl SlaveEndpoint for SlaveDaemon {
 
     fn collect_sequential(&self, violation_at: Tick) -> Result<Vec<ComponentFinding>, SlaveError> {
         Ok(self.analyze_all_sequential(violation_at))
+    }
+}
+
+/// One tenant application's view of a shared, multi-tenant
+/// [`SlaveDaemon`] pool.
+///
+/// A fleet deployment runs one daemon per cloud node hosting metric
+/// state for many applications (shard key `(AppId, ComponentId)`); each
+/// tenant's master fans out over `TenantSlave` handles that scope every
+/// call to that tenant's shards. Two tenants sharing a daemon never see
+/// each other's components.
+///
+/// # Examples
+///
+/// ```
+/// use fchain_core::master::endpoint::{SlaveEndpoint, TenantSlave};
+/// use fchain_core::slave::{MetricSample, SlaveDaemon};
+/// use fchain_core::FChainConfig;
+/// use fchain_metrics::{AppId, ComponentId, MetricKind};
+/// use std::sync::Arc;
+///
+/// let pool = Arc::new(SlaveDaemon::new(FChainConfig::default()));
+/// pool.ingest_for(AppId(1), MetricSample {
+///     tick: 0, component: ComponentId(0), kind: MetricKind::Cpu, value: 40.0,
+/// });
+/// let view = TenantSlave::new(Arc::clone(&pool), AppId(1));
+/// assert_eq!(view.monitored_components(), vec![ComponentId(0)]);
+/// let other = TenantSlave::new(pool, AppId(2));
+/// assert!(other.monitored_components().is_empty());
+/// ```
+#[derive(Debug)]
+pub struct TenantSlave {
+    daemon: Arc<SlaveDaemon>,
+    app: AppId,
+}
+
+impl TenantSlave {
+    /// A view of `daemon` scoped to tenant `app`.
+    pub fn new(daemon: Arc<SlaveDaemon>, app: AppId) -> Self {
+        TenantSlave { daemon, app }
+    }
+
+    /// The tenant this view is scoped to.
+    pub fn app(&self) -> AppId {
+        self.app
+    }
+}
+
+impl SlaveEndpoint for TenantSlave {
+    fn monitored_components(&self) -> Vec<ComponentId> {
+        self.daemon.monitored_components_for(self.app)
+    }
+
+    fn collect(&self, violation_at: Tick) -> Result<Vec<ComponentFinding>, SlaveError> {
+        Ok(self.daemon.analyze_all_for(self.app, violation_at))
+    }
+
+    fn collect_sequential(&self, violation_at: Tick) -> Result<Vec<ComponentFinding>, SlaveError> {
+        Ok(self
+            .daemon
+            .analyze_all_sequential_for(self.app, violation_at))
     }
 }
 
@@ -243,7 +304,8 @@ impl SlaveFaultSchedule {
 }
 
 /// The splitmix64 mixer: a tiny, high-quality, dependency-free PRNG step.
-fn splitmix64(mut z: u64) -> u64 {
+/// Also seeds the fleet scheduler's deterministic start offset.
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

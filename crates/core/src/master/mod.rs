@@ -8,9 +8,13 @@
 //! pinpointing by scaling the implicated resource and watching the SLO.
 
 pub mod endpoint;
+pub mod fleet;
 pub mod orchestrator;
 pub mod pinpoint;
 pub mod validation;
 
-pub use endpoint::{FaultySlave, SlaveEndpoint, SlaveError, SlaveFault, SlaveFaultSchedule};
+pub use endpoint::{
+    FaultySlave, SlaveEndpoint, SlaveError, SlaveFault, SlaveFaultSchedule, TenantSlave,
+};
+pub use fleet::{FleetMaster, FleetReport, FleetViolation};
 pub use orchestrator::Master;

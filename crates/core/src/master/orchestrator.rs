@@ -7,32 +7,31 @@
 //! is invoked ... The FChain master first contacts the slaves on all
 //! related distributed hosts."
 //!
-//! [`Master`] holds one [`SlaveEndpoint`] handle per cloud node plus the
-//! offline-discovered dependency graph, and turns an SLO-violation
-//! notification into a [`DiagnosisReport`] by collecting every slave's
-//! findings and running the integrated pinpointing (optionally followed by
-//! online validation).
+//! [`Master`] is the paper's single-application deployment: one
+//! [`crate::master::fleet::FleetMaster`] serving exactly one tenant (the
+//! `"default"` application). Every call delegates to the fleet layer, so
+//! a single-app report is bit-identical to the per-tenant report a
+//! multi-tenant fleet produces for the same slaves — the invariant the
+//! fleet refactor is tested against.
 //!
 //! Unlike the paper's testbed, the fan-out does not assume the slaves are
 //! healthy: each slave gets a bounded number of retries for transient
 //! errors, a per-slave response deadline abandons stragglers
 //! ([`crate::FChainConfig::slave_deadline_ms`]), and the report carries
-//! [`DiagnosisCoverage`] so a clean verdict can be told from a partial
-//! one.
+//! [`crate::DiagnosisCoverage`] so a clean verdict can be told from a
+//! partial one.
 
 use crate::config::FChainConfig;
-use crate::master::endpoint::{SlaveEndpoint, SlaveError};
-use crate::master::pinpoint::{pinpoint, PinpointInput};
-use crate::master::validation::{validate_pinpointing, ValidationProbe};
-use crate::report::{ComponentFinding, DiagnosisCoverage, DiagnosisReport, SlaveStatus};
+use crate::master::endpoint::SlaveEndpoint;
+use crate::master::fleet::FleetMaster;
+use crate::master::validation::ValidationProbe;
+use crate::report::{ComponentFinding, DiagnosisReport};
 use fchain_deps::DependencyGraph;
-use fchain_metrics::{ComponentId, Tick};
-use fchain_obs as obs;
-use std::sync::mpsc;
+use fchain_metrics::{AppId, Tick};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
 
-/// The master module coordinating per-host slave daemons.
+/// The master module coordinating per-host slave daemons for one
+/// application.
 ///
 /// # Examples
 ///
@@ -61,253 +60,60 @@ use std::time::{Duration, Instant};
 /// ```
 #[derive(Debug)]
 pub struct Master {
-    config: FChainConfig,
-    slaves: Vec<Arc<dyn SlaveEndpoint>>,
-    dependencies: Option<DependencyGraph>,
-}
-
-/// What one slave contributed to a fan-out.
-struct SlaveOutcome {
-    findings: Vec<ComponentFinding>,
-    status: SlaveStatus,
+    fleet: FleetMaster,
+    app: AppId,
 }
 
 impl Master {
     /// Creates a master with no slaves registered yet.
     pub fn new(config: FChainConfig) -> Self {
-        config.validate();
-        Master {
-            config,
-            slaves: Vec::new(),
-            dependencies: None,
-        }
+        let mut fleet = FleetMaster::new(config);
+        let app = fleet.add_tenant("default");
+        Master { fleet, app }
     }
 
-    /// Registers the slave endpoint of one cloud node.
-    pub fn register_slave(&mut self, slave: Arc<dyn SlaveEndpoint>) {
-        self.slaves.push(slave);
+    /// The tenant id the wrapped fleet serves this application under
+    /// (always the default tenant).
+    pub fn app(&self) -> AppId {
+        self.app
+    }
+
+    /// The underlying fleet of one.
+    pub fn fleet(&self) -> &FleetMaster {
+        &self.fleet
+    }
+
+    /// Registers the slave endpoint of one cloud node. Returns `true` if
+    /// the endpoint was added; re-registering the *same* endpoint (the
+    /// same `Arc` — a slave re-announcing itself after a reconnect) is a
+    /// no-op returning `false`, so the host is not fanned out to twice.
+    /// A different endpoint monitoring the same components is redundant
+    /// monitoring and stays allowed (the merge step unions findings).
+    pub fn register_slave(&mut self, slave: Arc<dyn SlaveEndpoint>) -> bool {
+        self.fleet.register_slave(self.app, slave)
     }
 
     /// Number of registered slaves.
     pub fn slave_count(&self) -> usize {
-        self.slaves.len()
+        self.fleet.slave_count(self.app)
     }
 
     /// Installs the dependency graph produced by offline black-box
     /// discovery ("we perform the dependency discovery offline and store
     /// the results in a file for later reference", §II.C footnote).
     pub fn set_dependencies(&mut self, deps: DependencyGraph) {
-        self.dependencies = Some(deps);
+        self.fleet.set_dependencies(self.app, deps);
     }
 
     /// Collects every reachable slave's abnormal-change findings for the
     /// look-back window ending at `violation_at`, merging duplicates.
     pub fn collect_findings(&self, violation_at: Tick) -> Vec<ComponentFinding> {
-        self.fan_out(violation_at, false).0
-    }
-
-    /// One slave queried with bounded retry: transient errors are retried
-    /// up to `slave_retries` times with doubling backoff; unreachable
-    /// hosts fail fast.
-    fn query_with_retry(
-        slave: &dyn SlaveEndpoint,
-        violation_at: Tick,
-        retries: u32,
-        backoff: Duration,
-        sequential: bool,
-    ) -> SlaveOutcome {
-        for attempt in 0..=retries {
-            obs::count(obs::Counter::SlaveQueries, 1);
-            if attempt > 0 {
-                obs::count(obs::Counter::SlaveRetries, 1);
-            }
-            let rpc_span = obs::time(obs::Stage::SlaveRpc);
-            let result = if sequential {
-                slave.collect_sequential(violation_at)
-            } else {
-                slave.collect(violation_at)
-            };
-            drop(rpc_span);
-            match result {
-                Ok(findings) => {
-                    let status = if attempt == 0 {
-                        SlaveStatus::Ok
-                    } else {
-                        SlaveStatus::Recovered { retries: attempt }
-                    };
-                    return SlaveOutcome { findings, status };
-                }
-                Err(SlaveError::Unreachable) => {
-                    obs::count(obs::Counter::SlaveUnreachable, 1);
-                    return SlaveOutcome {
-                        findings: Vec::new(),
-                        status: SlaveStatus::Unreachable,
-                    };
-                }
-                Err(SlaveError::Transient) if attempt < retries => {
-                    std::thread::sleep(backoff * 2u32.pow(attempt));
-                }
-                Err(SlaveError::Transient) => {}
-            }
-        }
-        obs::count(obs::Counter::SlaveUnreachable, 1);
-        SlaveOutcome {
-            findings: Vec::new(),
-            status: SlaveStatus::Unreachable,
-        }
-    }
-
-    /// The violation fan-out: every slave queried (in parallel unless
-    /// `sequential`), stragglers abandoned at the deadline, per-slave
-    /// outcomes assembled into findings + coverage.
-    ///
-    /// The sequential reference enforces the *same* per-slave deadline by
-    /// timing each call and discarding late answers, so for a given fault
-    /// schedule (with latencies well clear of the deadline) both paths
-    /// produce bit-identical reports — only wall-clock differs.
-    fn fan_out(
-        &self,
-        violation_at: Tick,
-        sequential: bool,
-    ) -> (Vec<ComponentFinding>, DiagnosisCoverage) {
-        let _fan_out_span = obs::time(obs::Stage::MasterFanOut);
-        let retries = self.config.slave_retries;
-        let backoff = Duration::from_millis(self.config.slave_backoff_ms);
-        let deadline = (self.config.slave_deadline_ms > 0)
-            .then(|| Duration::from_millis(self.config.slave_deadline_ms));
-
-        let outcomes: Vec<SlaveOutcome> = if sequential || self.slaves.len() <= 1 {
-            self.slaves
-                .iter()
-                .map(|slave| {
-                    let started = Instant::now();
-                    let mut outcome = Self::query_with_retry(
-                        slave.as_ref(),
-                        violation_at,
-                        retries,
-                        backoff,
-                        sequential,
-                    );
-                    if let Some(budget) = deadline {
-                        if started.elapsed() > budget && outcome.status.answered() {
-                            // The answer arrived past the deadline; the
-                            // parallel fan-out would have abandoned it.
-                            outcome = SlaveOutcome {
-                                findings: Vec::new(),
-                                status: SlaveStatus::TimedOut,
-                            };
-                        }
-                    }
-                    outcome
-                })
-                .collect()
-        } else {
-            self.fan_out_parallel(violation_at, retries, backoff, deadline)
-        };
-
-        let total = outcomes.len();
-        let answered = outcomes.iter().filter(|o| o.status.answered()).count();
-        let mut findings: Vec<ComponentFinding> = Vec::new();
-        let mut slaves = Vec::with_capacity(total);
-        let mut unreachable_slaves = Vec::new();
-        for (i, outcome) in outcomes.into_iter().enumerate() {
-            if !outcome.status.answered() {
-                unreachable_slaves.push(i);
-            }
-            if outcome.status == SlaveStatus::TimedOut {
-                obs::count(obs::Counter::SlaveTimeouts, 1);
-            }
-            slaves.push(outcome.status);
-            findings.extend(outcome.findings);
-        }
-        let merge_span = obs::time(obs::Stage::MasterMerge);
-        let findings = merge_findings(findings);
-        drop(merge_span);
-
-        // The blind spot: components monitored only by slaves that never
-        // answered. A component an answering slave also covers is not
-        // blind (redundant monitoring).
-        let covered: Vec<ComponentId> = findings.iter().map(|f| f.id).collect();
-        let mut unreachable_components: Vec<ComponentId> = unreachable_slaves
-            .iter()
-            .flat_map(|&i| self.slaves[i].monitored_components())
-            .filter(|c| !covered.contains(c))
-            .collect();
-        unreachable_components.sort();
-        unreachable_components.dedup();
-
-        let coverage = DiagnosisCoverage {
-            slaves,
-            unreachable_slaves,
-            unreachable_components,
-            coverage: if total == 0 {
-                1.0
-            } else {
-                answered as f64 / total as f64
-            },
-        };
-        (findings, coverage)
-    }
-
-    /// Deadline-bounded parallel fan-out: one detached worker per slave,
-    /// results drained off a channel until every slave answered or the
-    /// deadline passed. Stragglers keep running on their (doomed) worker
-    /// thread but the diagnosis stops waiting for them — the cure for a
-    /// fault localizer whose own probe faults.
-    fn fan_out_parallel(
-        &self,
-        violation_at: Tick,
-        retries: u32,
-        backoff: Duration,
-        deadline: Option<Duration>,
-    ) -> Vec<SlaveOutcome> {
-        let (tx, rx) = mpsc::channel::<(usize, SlaveOutcome)>();
-        for (i, slave) in self.slaves.iter().enumerate() {
-            let slave = Arc::clone(slave);
-            let tx = tx.clone();
-            std::thread::spawn(move || {
-                let outcome =
-                    Self::query_with_retry(slave.as_ref(), violation_at, retries, backoff, false);
-                // The receiver may have given up on us already.
-                let _ = tx.send((i, outcome));
-            });
-        }
-        drop(tx);
-
-        let started = Instant::now();
-        let mut slots: Vec<Option<SlaveOutcome>> = (0..self.slaves.len()).map(|_| None).collect();
-        let mut pending = self.slaves.len();
-        while pending > 0 {
-            let received = match deadline {
-                None => rx.recv().ok(),
-                Some(budget) => match budget.checked_sub(started.elapsed()) {
-                    Some(left) => rx.recv_timeout(left).ok(),
-                    // Deadline passed: drain what already arrived, then
-                    // give up on the rest.
-                    None => rx.try_recv().ok(),
-                },
-            };
-            let Some((i, outcome)) = received else {
-                break; // deadline passed (or every worker hung up)
-            };
-            slots[i] = Some(outcome);
-            pending -= 1;
-        }
-        slots
-            .into_iter()
-            .map(|slot| {
-                slot.unwrap_or(SlaveOutcome {
-                    findings: Vec::new(),
-                    status: SlaveStatus::TimedOut,
-                })
-            })
-            .collect()
+        self.fleet.collect_findings(self.app, violation_at)
     }
 
     /// Full diagnosis on an SLO violation.
     pub fn on_violation(&self, violation_at: Tick) -> DiagnosisReport {
-        let (findings, coverage) = self.fan_out(violation_at, false);
-        self.report_from_findings(findings, coverage)
+        self.fleet.diagnose(self.app, violation_at)
     }
 
     /// Reference single-threaded diagnosis: identical to
@@ -315,38 +121,7 @@ impl Master {
     /// loop. The parallel path is required (and tested) to produce a
     /// bit-identical report for the same state and fault schedule.
     pub fn on_violation_sequential(&self, violation_at: Tick) -> DiagnosisReport {
-        let (findings, coverage) = self.fan_out(violation_at, true);
-        self.report_from_findings(findings, coverage)
-    }
-
-    /// Integrated pinpointing over already-collected findings.
-    fn report_from_findings(
-        &self,
-        findings: Vec<ComponentFinding>,
-        coverage: DiagnosisCoverage,
-    ) -> DiagnosisReport {
-        let pinpoint_span = obs::time(obs::Stage::MasterPinpoint);
-        let (verdict, pinpointed) = pinpoint(&PinpointInput {
-            findings: &findings,
-            dependencies: self.dependencies.as_ref(),
-            concurrency_threshold: self.config.concurrency_threshold,
-            external_quorum: self.config.external_quorum,
-        });
-        drop(pinpoint_span);
-        DiagnosisReport {
-            verdict,
-            pinpointed,
-            findings,
-            removed_by_validation: Vec::new(),
-            coverage,
-            snapshot: None,
-            // Provenance: the engine the master is configured with. Each
-            // slave daemon honors its *own* config at analysis time; in a
-            // real deployment the master cannot retroactively change what
-            // a remote slave ran, so deployments configure both sides
-            // consistently (the CLI and eval paths do).
-            engine: self.config.engine,
-        }
+        self.fleet.diagnose_sequential(self.app, violation_at)
     }
 
     /// Diagnosis followed by online pinpointing validation.
@@ -356,27 +131,23 @@ impl Master {
     /// components on unreachable slaves (which contributed no findings)
     /// are never probed, and [`DiagnosisReport::removed_by_validation`]
     /// stays disjoint from
-    /// [`DiagnosisCoverage::unreachable_components`].
+    /// [`crate::DiagnosisCoverage::unreachable_components`].
     pub fn on_violation_validated(
         &self,
         violation_at: Tick,
         probe: &mut dyn ValidationProbe,
     ) -> DiagnosisReport {
-        let mut report = self.on_violation(violation_at);
-        validate_pinpointing(&mut report, probe, 2);
-        report
+        self.fleet.diagnose_validated(self.app, violation_at, probe)
     }
 
     /// Like [`Master::on_violation`], but the report carries a
     /// [`fchain_obs::PipelineSnapshot`] of exactly this diagnosis's stage
     /// timings and counters (the delta against the process-global
-    /// registry). The payload is identical to the unobserved report —
-    /// snapshots are excluded from report equality.
+    /// registry), labeled with the tenant name (`"default"`). The payload
+    /// is identical to the unobserved report — snapshots are excluded
+    /// from report equality.
     pub fn on_violation_observed(&self, violation_at: Tick) -> DiagnosisReport {
-        let before = obs::snapshot();
-        let mut report = self.on_violation(violation_at);
-        report.snapshot = Some(obs::snapshot().delta_since(&before));
-        report
+        self.fleet.diagnose_observed(self.app, violation_at)
     }
 
     /// [`Master::on_violation_validated`] with the diagnosis's own
@@ -387,44 +158,20 @@ impl Master {
         violation_at: Tick,
         probe: &mut dyn ValidationProbe,
     ) -> DiagnosisReport {
-        let before = obs::snapshot();
-        let mut report = self.on_violation_validated(violation_at, probe);
-        report.snapshot = Some(obs::snapshot().delta_since(&before));
-        report
+        self.fleet
+            .diagnose_validated_observed(self.app, violation_at, probe)
     }
-}
-
-/// Merges findings that report the same component (the same `ComponentId`
-/// seen by two registered slaves — e.g. a VM migrated mid-window, or
-/// redundant monitoring): the changes are unioned, which also yields the
-/// earliest onset across both reports. The pre-merge order is
-/// registration order, so the union is deterministic.
-fn merge_findings(mut findings: Vec<ComponentFinding>) -> Vec<ComponentFinding> {
-    findings.sort_by_key(|f| f.id);
-    let mut merged: Vec<ComponentFinding> = Vec::with_capacity(findings.len());
-    for f in findings {
-        match merged.last_mut() {
-            Some(last) if last.id == f.id => {
-                for change in f.changes {
-                    if !last.changes.contains(&change) {
-                        last.changes.push(change);
-                    }
-                }
-            }
-            _ => merged.push(f),
-        }
-    }
-    merged
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::master::endpoint::{FaultySlave, SlaveFault};
-    use crate::report::AbnormalChange;
+    use crate::master::endpoint::{FaultySlave, SlaveError, SlaveFault};
+    use crate::report::{AbnormalChange, SlaveStatus};
     use crate::slave::{MetricSample, SlaveDaemon};
     use fchain_detect::Trend;
     use fchain_metrics::{ComponentId, MetricKind};
+    use std::time::{Duration, Instant};
 
     /// Feeds `n` ticks of component `c` into `slave`, stepping CPU at
     /// `fault_at` if given.
@@ -476,6 +223,28 @@ mod tests {
         assert_eq!(report.verdict, crate::Verdict::NoAnomaly);
         assert!(report.coverage.is_complete());
         assert_eq!(report.coverage.coverage, 1.0);
+    }
+
+    #[test]
+    fn duplicate_endpoint_registration_is_a_no_op() {
+        // A slave re-announcing itself (the same Arc) must not be fanned
+        // out to twice; a distinct daemon monitoring the same component
+        // is redundant monitoring and stays allowed.
+        let daemon = Arc::new(SlaveDaemon::new(FChainConfig::default()));
+        feed(&daemon, 0, 1000, Some(940));
+        let endpoint: Arc<dyn SlaveEndpoint> = daemon;
+        let mut master = Master::new(FChainConfig::default());
+        assert!(master.register_slave(Arc::clone(&endpoint)));
+        assert!(!master.register_slave(Arc::clone(&endpoint)));
+        assert_eq!(master.slave_count(), 1);
+        let report = master.on_violation(990);
+        assert_eq!(report.coverage.slaves.len(), 1, "one fan-out, not two");
+        assert_eq!(report.pinpointed, vec![ComponentId(0)]);
+
+        let twin = Arc::new(SlaveDaemon::new(FChainConfig::default()));
+        feed(&twin, 0, 1000, Some(940));
+        assert!(master.register_slave(twin));
+        assert_eq!(master.slave_count(), 2);
     }
 
     #[test]
@@ -683,36 +452,5 @@ mod tests {
         assert_eq!(report.coverage.unreachable_slaves, vec![1]);
         assert!(report.coverage.unreachable_components.is_empty());
         assert_eq!(report.pinpointed, vec![ComponentId(0)]);
-    }
-
-    #[test]
-    fn merge_findings_unions_changes() {
-        let change = |metric, onset| AbnormalChange {
-            metric,
-            change_at: onset,
-            onset,
-            prediction_error: 5.0,
-            expected_error: 1.0,
-            direction: Trend::Up,
-        };
-        let shared = change(MetricKind::Cpu, 100);
-        let merged = merge_findings(vec![
-            ComponentFinding {
-                id: ComponentId(1),
-                changes: vec![shared],
-            },
-            ComponentFinding {
-                id: ComponentId(0),
-                changes: vec![],
-            },
-            ComponentFinding {
-                id: ComponentId(1),
-                changes: vec![shared, change(MetricKind::Memory, 90)],
-            },
-        ]);
-        assert_eq!(merged.len(), 2);
-        assert_eq!(merged[0].id, ComponentId(0));
-        assert_eq!(merged[1].changes.len(), 2, "shared change deduped");
-        assert_eq!(merged[1].onset(), Some(90));
     }
 }

@@ -60,6 +60,7 @@ pub trait ValidationProbe: std::fmt::Debug {
 ///     coverage: Default::default(),
 ///     snapshot: None,
 ///     engine: Default::default(),
+///     app: Default::default(),
 /// };
 /// validate_pinpointing(&mut report, &mut OnlyC1, 2);
 /// assert_eq!(report.pinpointed, vec![ComponentId(1)]);
@@ -138,6 +139,7 @@ mod tests {
             coverage: Default::default(),
             snapshot: None,
             engine: Default::default(),
+            app: Default::default(),
         }
     }
 

@@ -2,7 +2,7 @@
 
 use crate::config::AnalysisEngine;
 use fchain_detect::Trend;
-use fchain_metrics::{ComponentId, MetricKind, Tick};
+use fchain_metrics::{AppId, ComponentId, MetricKind, Tick};
 use fchain_obs::PipelineSnapshot;
 use serde::{Deserialize, Serialize};
 
@@ -207,12 +207,20 @@ pub struct DiagnosisReport {
     /// Older serialized reports lack the field — its `Deserialize` maps
     /// absence to the default.
     pub engine: AnalysisEngine,
+    /// Which tenant application this report diagnoses. Provenance, like
+    /// `engine`: the single-app paths always stamp the default tenant
+    /// (`A0`), and a fleet-of-one report of the same case must compare
+    /// equal to the single-app one — so the field is excluded from
+    /// `PartialEq`. Reports serialized before the fleet layer existed
+    /// lack the field — its `Deserialize` maps absence to the default.
+    pub app: AppId,
 }
 
 /// Equality over the diagnosis *payload* only: `snapshot` carries
-/// wall-clock timings and `engine` is provenance, so both are ignored,
-/// keeping report comparison (and the determinism/parity suites)
-/// meaningful for instrumented and cross-engine runs.
+/// wall-clock timings and `engine` and `app` are provenance, so all three
+/// are ignored, keeping report comparison (and the determinism/parity
+/// suites) meaningful for instrumented, cross-engine and fleet-of-one
+/// runs.
 impl PartialEq for DiagnosisReport {
     fn eq(&self, other: &Self) -> bool {
         self.verdict == other.verdict
@@ -314,6 +322,7 @@ mod tests {
             coverage: DiagnosisCoverage::default(),
             snapshot: None,
             engine: AnalysisEngine::default(),
+            app: AppId::default(),
         };
         assert_eq!(
             report.propagation_chain(),
@@ -332,7 +341,7 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_and_engine_are_excluded_from_report_equality() {
+    fn snapshot_engine_and_app_are_excluded_from_report_equality() {
         let base = DiagnosisReport {
             verdict: Verdict::NoAnomaly,
             pinpointed: vec![],
@@ -341,6 +350,7 @@ mod tests {
             coverage: DiagnosisCoverage::default(),
             snapshot: None,
             engine: AnalysisEngine::Streaming,
+            app: AppId::default(),
         };
         let mut observed = base.clone();
         observed.snapshot = Some(PipelineSnapshot::empty());
@@ -348,6 +358,9 @@ mod tests {
         let mut batch = base.clone();
         batch.engine = AnalysisEngine::Batch;
         assert_eq!(base, batch, "engine provenance must not affect equality");
+        let mut tenant = base.clone();
+        tenant.app = AppId(3);
+        assert_eq!(base, tenant, "tenant provenance must not affect equality");
         let mut different = base.clone();
         different.pinpointed = vec![ComponentId(7)];
         assert_ne!(base, different);

@@ -19,7 +19,7 @@ use crate::slave::selection::{
     error_floor_from_parts, select_abnormal_changes, select_abnormal_changes_streaming,
     SelectionScratch,
 };
-use fchain_metrics::{stats, ComponentId, MetricKind, PercentileSketch, RingBuffer, Tick};
+use fchain_metrics::{stats, AppId, ComponentId, MetricKind, PercentileSketch, RingBuffer, Tick};
 use fchain_model::OnlineLearner;
 use fchain_obs as obs;
 use parking_lot::Mutex;
@@ -167,6 +167,14 @@ struct ComponentState {
     scratch: Option<Box<AnalysisScratch>>,
 }
 
+/// The shard directory: every tenant's component shards, ordered by
+/// `(tenant, component)` so one tenant's shards form a contiguous range.
+type ShardDirectory = BTreeMap<(AppId, ComponentId), Arc<Mutex<ComponentState>>>;
+
+/// One shard-directory entry: the `(tenant, component)` key plus the
+/// shard's lock.
+type ShardEntry = ((AppId, ComponentId), Arc<Mutex<ComponentState>>);
+
 impl ComponentState {
     fn series(&self) -> usize {
         self.metrics.iter().flatten().count()
@@ -207,10 +215,14 @@ pub struct SlaveDaemon {
     config: FChainConfig,
     /// How many recent samples each metric retains.
     capacity: usize,
-    /// Component directory. The outer lock is held only long enough to
-    /// look up (or create) a component's shard; all sample and analysis
-    /// work happens under the per-component lock.
-    shards: Mutex<BTreeMap<ComponentId, Arc<Mutex<ComponentState>>>>,
+    /// Shard directory, keyed by `(tenant, component)`: one daemon pool
+    /// hosts metric state for many tenant applications, each component's
+    /// six series under its own lock. The outer lock is held only long
+    /// enough to look up (or create) a shard; all sample and analysis
+    /// work happens under the per-shard lock. The single-app API operates
+    /// on the default tenant ([`AppId::default`]), so pre-fleet callers
+    /// see exactly the old behaviour.
+    shards: Mutex<ShardDirectory>,
 }
 
 impl SlaveDaemon {
@@ -228,17 +240,27 @@ impl SlaveDaemon {
         }
     }
 
-    /// The shard of `component`, created on first use.
-    fn shard(&self, component: ComponentId) -> Arc<Mutex<ComponentState>> {
-        Arc::clone(self.shards.lock().entry(component).or_default())
+    /// The shard of `(app, component)`, created on first use.
+    fn shard(&self, app: AppId, component: ComponentId) -> Arc<Mutex<ComponentState>> {
+        Arc::clone(self.shards.lock().entry((app, component)).or_default())
     }
 
-    /// A snapshot of the component directory in id order.
-    fn shard_list(&self) -> Vec<(ComponentId, Arc<Mutex<ComponentState>>)> {
+    /// A snapshot of the whole shard directory in `(tenant, component)`
+    /// order.
+    fn shard_list(&self) -> Vec<ShardEntry> {
         self.shards
             .lock()
             .iter()
-            .map(|(&c, shard)| (c, Arc::clone(shard)))
+            .map(|(&key, shard)| (key, Arc::clone(shard)))
+            .collect()
+    }
+
+    /// A snapshot of one tenant's shards in component-id order.
+    fn shard_list_for(&self, app: AppId) -> Vec<ShardEntry> {
+        self.shards
+            .lock()
+            .range((app, ComponentId(0))..=(app, ComponentId(u32::MAX)))
+            .map(|(&key, shard)| (key, Arc::clone(shard)))
             .collect()
     }
 
@@ -257,10 +279,24 @@ impl SlaveDaemon {
         self
     }
 
-    /// The components currently monitored, in id order — the registry
-    /// inventory a master records when the slave registers.
+    /// The components currently monitored across every tenant, in id
+    /// order with duplicates collapsed — the registry inventory a
+    /// single-app master records when the slave registers. (Two tenants
+    /// may reuse the same component index; tenant-scoped callers use
+    /// [`SlaveDaemon::monitored_components_for`].)
     pub fn monitored_components(&self) -> Vec<ComponentId> {
-        self.shards.lock().keys().copied().collect()
+        let mut components: Vec<ComponentId> = self.shards.lock().keys().map(|&(_, c)| c).collect();
+        components.sort_unstable();
+        components.dedup();
+        components
+    }
+
+    /// The components monitored for one tenant, in id order.
+    pub fn monitored_components_for(&self, app: AppId) -> Vec<ComponentId> {
+        self.shard_list_for(app)
+            .iter()
+            .map(|&((_, c), _)| c)
+            .collect()
     }
 
     /// The number of (component, metric) series currently monitored.
@@ -302,7 +338,14 @@ impl SlaveDaemon {
     /// (`ingest_dropped_samples` / `ingest_gap_ticks_bridged` /
     /// `ingest_series_resets`) and surface in the pipeline snapshot.
     pub fn ingest(&self, sample: MetricSample) {
-        let shard = self.shard(sample.component);
+        self.ingest_for(AppId::default(), sample);
+    }
+
+    /// Feeds one sample into a tenant application's shard. Identical to
+    /// [`SlaveDaemon::ingest`] except for the shard key; the per-metric
+    /// streaming state is tenant-agnostic.
+    pub fn ingest_for(&self, app: AppId, sample: MetricSample) {
+        let shard = self.shard(app, sample.component);
         let mut comp = shard.lock();
         let state = comp.metrics[sample.kind.index()]
             .get_or_insert_with(|| MetricState::new(&self.config, self.capacity));
@@ -341,9 +384,20 @@ impl SlaveDaemon {
     /// "abnormal change point selection" line of Table II instead of the
     /// "normal fluctuation modeling" line times the history length.
     pub fn analyze(&self, component: ComponentId, violation_at: Tick) -> Option<ComponentFinding> {
+        self.analyze_for(AppId::default(), component, violation_at)
+    }
+
+    /// Analyzes one component of a tenant application. Returns `None` if
+    /// that tenant has never monitored the component.
+    pub fn analyze_for(
+        &self,
+        app: AppId,
+        component: ComponentId,
+        violation_at: Tick,
+    ) -> Option<ComponentFinding> {
         let shard = {
             let shards = self.shards.lock();
-            Arc::clone(shards.get(&component)?)
+            Arc::clone(shards.get(&(app, component))?)
         };
         let mut comp = shard.lock();
         self.analyze_shard(component, &mut comp, violation_at)
@@ -445,7 +499,19 @@ impl SlaveDaemon {
     /// are assembled in component-id order regardless of which worker
     /// finishes first.
     pub fn analyze_all(&self, violation_at: Tick) -> Vec<ComponentFinding> {
-        let shards = self.shard_list();
+        self.analyze_list(self.shard_list(), violation_at)
+    }
+
+    /// Analyzes every component one tenant application monitors, in
+    /// parallel across components.
+    pub fn analyze_all_for(&self, app: AppId, violation_at: Tick) -> Vec<ComponentFinding> {
+        self.analyze_list(self.shard_list_for(app), violation_at)
+    }
+
+    /// The shared fan-out: analyzes a shard snapshot in parallel,
+    /// assembling findings in list (shard-key) order regardless of which
+    /// worker finishes first.
+    fn analyze_list(&self, shards: Vec<ShardEntry>, violation_at: Tick) -> Vec<ComponentFinding> {
         let workers = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
@@ -453,7 +519,9 @@ impl SlaveDaemon {
         if workers <= 1 {
             return shards
                 .iter()
-                .filter_map(|(c, shard)| self.analyze_shard(*c, &mut shard.lock(), violation_at))
+                .filter_map(|(key, shard)| {
+                    self.analyze_shard(key.1, &mut shard.lock(), violation_at)
+                })
                 .collect();
         }
         let slots: Vec<Mutex<Option<ComponentFinding>>> =
@@ -466,7 +534,7 @@ impl SlaveDaemon {
                     if i >= shards.len() {
                         break;
                     }
-                    let (c, shard) = &shards[i];
+                    let ((_, c), shard) = &shards[i];
                     *slots[i].lock() = self.analyze_shard(*c, &mut shard.lock(), violation_at);
                 });
             }
@@ -478,9 +546,27 @@ impl SlaveDaemon {
     /// [`SlaveDaemon::analyze_all`]; the parallel path is tested to match
     /// it exactly.
     pub fn analyze_all_sequential(&self, violation_at: Tick) -> Vec<ComponentFinding> {
-        self.shard_list()
+        Self::analyze_list_sequential(self, self.shard_list(), violation_at)
+    }
+
+    /// Reference single-threaded implementation of
+    /// [`SlaveDaemon::analyze_all_for`].
+    pub fn analyze_all_sequential_for(
+        &self,
+        app: AppId,
+        violation_at: Tick,
+    ) -> Vec<ComponentFinding> {
+        Self::analyze_list_sequential(self, self.shard_list_for(app), violation_at)
+    }
+
+    fn analyze_list_sequential(
+        &self,
+        shards: Vec<ShardEntry>,
+        violation_at: Tick,
+    ) -> Vec<ComponentFinding> {
+        shards
             .iter()
-            .filter_map(|(c, shard)| self.analyze_shard(*c, &mut shard.lock(), violation_at))
+            .filter_map(|(key, shard)| self.analyze_shard(key.1, &mut shard.lock(), violation_at))
             .collect()
     }
 }

@@ -1,0 +1,324 @@
+//! Fleet-scale evaluation: tenant-count throughput and isolation.
+//!
+//! The paper evaluates one application per FChain deployment; a cloud
+//! operator runs one [`FleetMaster`] for a whole fleet. This campaign
+//! simulates `tenants` independent applications (cycling
+//! [`fchain_sim::tenant_mix`]), lands their metric streams on a *shared*
+//! pool of per-host slave daemons (shard key `(AppId, ComponentId)`),
+//! fires every tenant's SLO violation concurrently, and measures
+//! diagnoses/sec plus the p50/p99 violation-to-report latency of the
+//! drain — the `fleet_throughput` bench sweeps the tenant count with it.
+//!
+//! Slave RPCs carry a simulated network latency
+//! ([`FleetCampaign::rpc_delay_ms`], a [`SlaveFault::Stall`] wrap): fleet
+//! throughput comes from overlapping that latency across per-tenant
+//! lanes, exactly as a real master overlaps network waits. Optionally the
+//! first [`FleetCampaign::stalled_tenants`] tenants each get one slave
+//! stalled for [`FleetCampaign::stall_ms`] — past their deadline budget —
+//! to measure that a sick tenant's straggler burns only its own budget
+//! (healthy-tenant p99 stays put).
+
+use crate::casegen::case_from_run;
+use crate::score::Counts;
+use fchain_core::slave::{MetricSample, SlaveDaemon};
+use fchain_core::{
+    FChainConfig, FaultySlave, FleetMaster, FleetViolation, SlaveEndpoint, SlaveFault, TenantSlave,
+};
+use fchain_metrics::{stats, AppId, MetricKind, Tick};
+use fchain_sim::{tenant_mix, RunConfig, Simulator};
+use serde_json::json;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One fleet drain at a fixed tenant count.
+#[derive(Debug, Clone)]
+pub struct FleetCampaign {
+    /// Number of tenant applications (each gets its own seeded run of a
+    /// [`tenant_mix`] (application, fault) pair).
+    pub tenants: usize,
+    /// Base seed; tenant `i` simulates with `base_seed + i`.
+    pub base_seed: u64,
+    /// Run length in ticks.
+    pub duration: Tick,
+    /// Look-back window handed to the slaves.
+    pub lookback: u64,
+    /// Per-host daemons in the shared pool; every tenant's components are
+    /// spread over all of them round-robin.
+    pub hosts: usize,
+    /// Simulated slave RPC latency (ms) added to every collect call.
+    pub rpc_delay_ms: u64,
+    /// How many tenants (the first ones) get one extra slave stalled for
+    /// [`FleetCampaign::stall_ms`] — the isolation scenario.
+    pub stalled_tenants: usize,
+    /// Stall duration (ms) for the sick tenants' straggler slave; set it
+    /// past the deadline budget so the straggler is abandoned.
+    pub stall_ms: u64,
+    /// Master-side config (deadline budget, engine, fleet knobs).
+    pub config: FChainConfig,
+}
+
+/// What one drain measured.
+#[derive(Debug, Clone)]
+pub struct FleetResult {
+    /// Tenant count of this drain.
+    pub tenants: usize,
+    /// Violations diagnosed (tenants whose seeded SLO fired).
+    pub diagnoses: usize,
+    /// Wall-clock of draining them all.
+    pub wall_clock: Duration,
+    /// Diagnoses per second.
+    pub throughput: f64,
+    /// Median violation-to-report latency (ms).
+    pub p50_latency_ms: f64,
+    /// Tail violation-to-report latency (ms).
+    pub p99_latency_ms: f64,
+    /// p99 latency over the *healthy* tenants only (excludes the
+    /// [`FleetCampaign::stalled_tenants`]); equals `p99_latency_ms` when
+    /// nobody is stalled.
+    pub healthy_p99_latency_ms: f64,
+    /// Pinpointing accuracy accumulated across tenants.
+    pub counts: Counts,
+}
+
+impl FleetCampaign {
+    /// A default drain at `tenants` tenants: shared 2-host pool, 100 ms
+    /// simulated RPC latency, 2 s deadline budget, no stalled tenants.
+    /// Honors the `FCHAIN_DURATION` environment override like
+    /// [`crate::Campaign::new`].
+    pub fn new(tenants: usize, base_seed: u64) -> Self {
+        let duration = std::env::var("FCHAIN_DURATION")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1500);
+        FleetCampaign {
+            tenants,
+            base_seed,
+            duration,
+            lookback: 100,
+            hosts: 2,
+            rpc_delay_ms: 100,
+            stalled_tenants: 0,
+            stall_ms: 0,
+            config: FChainConfig {
+                slave_deadline_ms: 2_000,
+                ..FChainConfig::default()
+            },
+        }
+    }
+
+    /// Runs the drain: simulate every tenant, ingest into the shared
+    /// pool, fire all violations at once, score and time the reports.
+    pub fn evaluate(&self) -> FleetResult {
+        assert!(self.hosts >= 1, "at least one host");
+        let pool: Vec<Arc<SlaveDaemon>> = (0..self.hosts)
+            .map(|_| Arc::new(SlaveDaemon::new(self.config.clone())))
+            .collect();
+        let mut fleet = FleetMaster::new(self.config.clone());
+
+        let mut violations: Vec<FleetViolation> = Vec::new();
+        let mut targets: Vec<(AppId, Vec<fchain_metrics::ComponentId>, bool)> = Vec::new();
+        for i in 0..self.tenants {
+            let (app_kind, fault) = tenant_mix(i);
+            let seed = self.base_seed + i as u64;
+            let run =
+                Simulator::new(RunConfig::new(app_kind, fault, seed).with_duration(self.duration))
+                    .run();
+            let Some(case) = case_from_run(&run, self.lookback) else {
+                continue; // the SLO never fired; nothing to drain
+            };
+            let app = fleet.add_tenant(&format!("{}-{i}", app_kind.name()));
+            for (c, component) in case.components.iter().enumerate() {
+                let host = &pool[(i + c) % self.hosts];
+                for kind in MetricKind::ALL {
+                    for (tick, value) in component.metric(kind).iter() {
+                        host.ingest_for(
+                            app,
+                            MetricSample {
+                                tick,
+                                component: component.id,
+                                kind,
+                                value,
+                            },
+                        );
+                    }
+                }
+            }
+            for daemon in &pool {
+                let view: Arc<dyn SlaveEndpoint> =
+                    Arc::new(TenantSlave::new(Arc::clone(daemon), app));
+                let slave: Arc<dyn SlaveEndpoint> = if self.rpc_delay_ms > 0 {
+                    Arc::new(FaultySlave::new(
+                        view,
+                        SlaveFault::Stall {
+                            delay: Duration::from_millis(self.rpc_delay_ms),
+                        },
+                    ))
+                } else {
+                    view
+                };
+                fleet.register_slave(app, slave);
+            }
+            let stalled = i < self.stalled_tenants && self.stall_ms > 0;
+            if stalled {
+                fleet.register_slave(
+                    app,
+                    Arc::new(FaultySlave::new(
+                        Arc::new(TenantSlave::new(Arc::clone(&pool[0]), app)),
+                        SlaveFault::Stall {
+                            delay: Duration::from_millis(self.stall_ms),
+                        },
+                    )),
+                );
+            }
+            if let Some(deps) = case.discovered_deps.clone() {
+                fleet.set_dependencies(app, deps);
+            }
+            violations.push(FleetViolation {
+                app,
+                violation_at: case.violation_at,
+            });
+            targets.push((app, run.fault.targets.clone(), stalled));
+        }
+
+        let started = std::time::Instant::now();
+        let reports = fleet.on_violations(&violations);
+        let wall_clock = started.elapsed();
+
+        let mut counts = Counts::default();
+        let mut latencies: Vec<f64> = Vec::new();
+        let mut healthy_latencies: Vec<f64> = Vec::new();
+        for report in &reports {
+            let (_, faulty, stalled) = targets
+                .iter()
+                .find(|(app, _, _)| *app == report.app)
+                .expect("every report belongs to a simulated tenant");
+            counts.add_case(&report.report.pinpointed, faulty);
+            let ms = report.latency.as_secs_f64() * 1e3;
+            latencies.push(ms);
+            if !stalled {
+                healthy_latencies.push(ms);
+            }
+        }
+        latencies.sort_by(|a, b| a.total_cmp(b));
+        healthy_latencies.sort_by(|a, b| a.total_cmp(b));
+
+        FleetResult {
+            tenants: self.tenants,
+            diagnoses: reports.len(),
+            wall_clock,
+            throughput: if wall_clock.as_secs_f64() > 0.0 {
+                reports.len() as f64 / wall_clock.as_secs_f64()
+            } else {
+                0.0
+            },
+            p50_latency_ms: stats::percentile_sorted(&latencies, 50.0).unwrap_or(0.0),
+            p99_latency_ms: stats::percentile_sorted(&latencies, 99.0).unwrap_or(0.0),
+            healthy_p99_latency_ms: stats::percentile_sorted(&healthy_latencies, 99.0)
+                .unwrap_or(0.0),
+            counts,
+        }
+    }
+
+    /// Renders a tenant-count sweep as the JSON shape the `BENCH_*.json`
+    /// files use.
+    pub fn to_json(&self, sweep: &[FleetResult]) -> serde_json::Value {
+        json!({
+            "bench": "fleet_throughput",
+            "case": {
+                "base_seed": self.base_seed,
+                "duration": self.duration,
+                "lookback": self.lookback,
+                "hosts": self.hosts,
+                "rpc_delay_ms": self.rpc_delay_ms,
+                "slave_deadline_ms": self.config.slave_deadline_ms,
+                "engine": self.config.engine.to_string(),
+            },
+            "sweep": sweep.iter().map(|r| json!({
+                "tenants": r.tenants,
+                "diagnoses": r.diagnoses,
+                "wall_clock_ms": r.wall_clock.as_secs_f64() * 1e3,
+                "throughput": r.throughput,
+                "p50_latency_ms": r.p50_latency_ms,
+                "p99_latency_ms": r.p99_latency_ms,
+                "healthy_p99_latency_ms": r.healthy_p99_latency_ms,
+                "precision": r.counts.precision(),
+                "recall": r.counts.recall(),
+            })).collect::<Vec<_>>(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_campaign(tenants: usize) -> FleetCampaign {
+        FleetCampaign {
+            duration: 1500,
+            rpc_delay_ms: 20,
+            ..FleetCampaign::new(tenants, 4100)
+        }
+    }
+
+    #[test]
+    fn drain_diagnoses_every_tenant() {
+        let campaign = small_campaign(3);
+        let result = campaign.evaluate();
+        assert_eq!(result.diagnoses, 3, "every seeded tenant must violate");
+        assert!(result.counts.recall() > 0.0, "the mix must be localizable");
+        assert!(result.throughput > 0.0);
+        assert!(result.p50_latency_ms > 0.0);
+        assert!(result.p99_latency_ms >= result.p50_latency_ms);
+    }
+
+    #[test]
+    fn drain_accuracy_is_deterministic() {
+        let campaign = small_campaign(2);
+        let a = campaign.evaluate();
+        let b = campaign.evaluate();
+        assert_eq!(a.counts, b.counts, "same seeds, same diagnosis payload");
+        assert_eq!(a.diagnoses, b.diagnoses);
+    }
+
+    #[test]
+    fn stalled_tenant_latency_stays_its_own() {
+        let campaign = FleetCampaign {
+            stalled_tenants: 1,
+            stall_ms: 900,
+            config: FChainConfig {
+                slave_deadline_ms: 300,
+                ..FChainConfig::default()
+            },
+            ..small_campaign(3)
+        };
+        let result = campaign.evaluate();
+        assert_eq!(result.diagnoses, 3);
+        // The sick tenant rides its deadline budget; the healthy tail
+        // must stay clearly under it.
+        assert!(
+            result.healthy_p99_latency_ms < result.p99_latency_ms,
+            "healthy p99 {} must undercut the stalled tail {}",
+            result.healthy_p99_latency_ms,
+            result.p99_latency_ms
+        );
+    }
+
+    #[test]
+    fn json_summary_has_the_bench_shape() {
+        let campaign = small_campaign(1);
+        let result = campaign.evaluate();
+        let rendered =
+            serde_json::to_string_pretty(&campaign.to_json(&[result])).expect("serializable");
+        for key in [
+            "fleet_throughput",
+            "\"tenants\"",
+            "\"throughput\"",
+            "\"p50_latency_ms\"",
+            "\"p99_latency_ms\"",
+            "\"recall\"",
+        ] {
+            assert!(rendered.contains(key), "missing {key} in {rendered}");
+        }
+        assert!(!rendered.contains("null"), "non-finite value in {rendered}");
+    }
+}

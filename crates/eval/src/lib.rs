@@ -18,6 +18,10 @@
 //! * [`DegradedCampaign`] sweeps the *slave-loss* rate — crashing a seeded
 //!   subset of the per-host slave daemons — and reports how precision,
 //!   recall and diagnosis coverage degrade;
+//! * [`FleetCampaign`] drains concurrent SLO violations from many tenant
+//!   applications through one [`fchain_core::FleetMaster`] over a shared
+//!   daemon pool, measuring diagnoses/sec and p50/p99 violation-to-report
+//!   latency;
 //! * [`render`] prints the text tables the benchmark targets emit.
 
 #![deny(missing_docs)]
@@ -26,6 +30,7 @@
 mod campaign;
 mod casegen;
 mod degraded;
+mod fleet;
 mod probe;
 mod roc;
 mod score;
@@ -35,6 +40,7 @@ pub mod render;
 pub use campaign::{Campaign, CampaignResult, CaseOutcome};
 pub use casegen::case_from_run;
 pub use degraded::{DegradedCampaign, DegradedPoint};
+pub use fleet::{FleetCampaign, FleetResult};
 pub use probe::OracleProbe;
 pub use roc::{RocCurve, RocPoint};
 pub use score::Counts;

@@ -16,6 +16,8 @@
 //! * [`eval`] — campaigns, precision/recall scoring, result rendering.
 //! * [`metrics`], [`model`], [`detect`], [`deps`] — the numeric and
 //!   algorithmic building blocks.
+//! * [`obs`] — pipeline observability: stage timings and counters,
+//!   compiled out unless the `obs` feature is on.
 //!
 //! # Examples
 //!
@@ -44,4 +46,5 @@ pub use fchain_detect as detect;
 pub use fchain_eval as eval;
 pub use fchain_metrics as metrics;
 pub use fchain_model as model;
+pub use fchain_obs as obs;
 pub use fchain_sim as sim;

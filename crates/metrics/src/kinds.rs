@@ -131,6 +131,122 @@ impl From<u32> for ComponentId {
     }
 }
 
+/// Identifier of one tenant application in a fleet.
+///
+/// The paper evaluates FChain on one application at a time; a fleet-scale
+/// deployment hosts many tenant applications on one localization service.
+/// `AppId` is the dense per-fleet index assigned when a tenant is admitted
+/// (see [`AppRegistry`]); the default id (`A0`) is the implicit tenant of
+/// every single-application API, so pre-fleet state and reports keep their
+/// meaning unchanged.
+///
+/// # Examples
+///
+/// ```
+/// use fchain_metrics::AppId;
+///
+/// let tenant = AppId(3);
+/// assert_eq!(tenant.to_string(), "A3");
+/// assert_eq!(AppId::default(), AppId(0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct AppId(pub u32);
+
+impl AppId {
+    /// The id as a dense `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A{}", self.0)
+    }
+}
+
+impl From<u32> for AppId {
+    fn from(v: u32) -> Self {
+        AppId(v)
+    }
+}
+
+// Hand-written serde impls (the vendored derive has no `#[serde(...)]`
+// attribute support): the id serializes as its raw number, and a missing
+// field — `Content::Null` is what the derive's field lookup feeds on
+// absence — falls back to the default tenant so state and reports written
+// before the fleet layer existed keep deserializing.
+impl Serialize for AppId {
+    fn serialize(&self) -> serde::Content {
+        serde::Content::U64(self.0 as u64)
+    }
+}
+
+impl Deserialize for AppId {
+    fn deserialize(c: &serde::Content) -> Result<Self, serde::DeError> {
+        match c {
+            serde::Content::Null => Ok(AppId::default()),
+            serde::Content::U64(v) => Ok(AppId(*v as u32)),
+            serde::Content::I64(v) if *v >= 0 => Ok(AppId(*v as u32)),
+            other => Err(serde::DeError::expected("an application id", other)),
+        }
+    }
+}
+
+/// The fleet's tenant directory: interns application names into dense
+/// [`AppId`]s, so every layer below the fleet master works with a `u32`
+/// while reports and dashboards can still print the tenant's name.
+///
+/// # Examples
+///
+/// ```
+/// use fchain_metrics::{AppId, AppRegistry};
+///
+/// let mut registry = AppRegistry::default();
+/// let shop = registry.intern("shop");
+/// assert_eq!(shop, AppId(0));
+/// assert_eq!(registry.intern("shop"), shop, "interning is idempotent");
+/// assert_eq!(registry.intern("search"), AppId(1));
+/// assert_eq!(registry.name(shop), Some("shop"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AppRegistry {
+    /// Tenant names, indexed by [`AppId::index`].
+    names: Vec<String>,
+}
+
+impl AppRegistry {
+    /// The id of `name`, assigning the next dense id on first sight.
+    pub fn intern(&mut self, name: &str) -> AppId {
+        if let Some(i) = self.names.iter().position(|n| n == name) {
+            return AppId(i as u32);
+        }
+        self.names.push(name.to_string());
+        AppId((self.names.len() - 1) as u32)
+    }
+
+    /// The name interned for `app`, if `app` was issued by this registry.
+    pub fn name(&self, app: AppId) -> Option<&str> {
+        self.names.get(app.index()).map(String::as_str)
+    }
+
+    /// Number of interned tenants.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no tenant has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Every issued id, in order.
+    pub fn ids(&self) -> impl Iterator<Item = AppId> + '_ {
+        (0..self.names.len() as u32).map(AppId)
+    }
+}
+
 /// A (component, metric) pair: one monitored signal.
 ///
 /// # Examples
@@ -202,5 +318,40 @@ mod tests {
     fn metric_id_display() {
         let id = MetricId::new(ComponentId(0), MetricKind::NetOut);
         assert_eq!(id.to_string(), "C0.net_out");
+    }
+
+    #[test]
+    fn app_id_display_order_and_default() {
+        assert_eq!(AppId(4).to_string(), "A4");
+        assert!(AppId(1) < AppId(2));
+        assert_eq!(AppId::from(3u32), AppId(3));
+        assert_eq!(AppId::default(), AppId(0));
+        assert_eq!(AppId(5).index(), 5);
+    }
+
+    #[test]
+    fn app_id_serde_defaults_on_null() {
+        assert_eq!(AppId(9).serialize(), serde::Content::U64(9));
+        assert_eq!(AppId::deserialize(&serde::Content::U64(9)), Ok(AppId(9)));
+        assert_eq!(
+            AppId::deserialize(&serde::Content::Null),
+            Ok(AppId::default()),
+            "pre-fleet payloads lack the field entirely"
+        );
+        assert!(AppId::deserialize(&serde::Content::Str("x".into())).is_err());
+    }
+
+    #[test]
+    fn app_registry_interns_densely_and_idempotently() {
+        let mut registry = AppRegistry::default();
+        assert!(registry.is_empty());
+        let a = registry.intern("alpha");
+        let b = registry.intern("beta");
+        assert_eq!((a, b), (AppId(0), AppId(1)));
+        assert_eq!(registry.intern("alpha"), a);
+        assert_eq!(registry.len(), 2);
+        assert_eq!(registry.name(b), Some("beta"));
+        assert_eq!(registry.name(AppId(7)), None);
+        assert_eq!(registry.ids().collect::<Vec<_>>(), vec![a, b]);
     }
 }

@@ -51,7 +51,7 @@ pub mod smooth;
 pub mod stats;
 pub mod tangent;
 
-pub use kinds::{ComponentId, MetricId, MetricKind};
+pub use kinds::{AppId, AppRegistry, ComponentId, MetricId, MetricKind};
 pub use ring::RingBuffer;
 pub use series::TimeSeries;
 pub use sketch::PercentileSketch;

@@ -131,6 +131,12 @@ pub struct PipelineSnapshot {
     pub stages: Vec<StageSnapshot>,
     /// Counter values, in [`Counter::ALL`] order.
     pub counters: Vec<CounterSnapshot>,
+    /// Which tenant application this snapshot was recorded for, when the
+    /// producer scoped it (per-tenant fleet diagnoses label their deltas;
+    /// whole-process snapshots stay unlabeled). Snapshots serialized
+    /// before the fleet layer existed lack the field — `Option`'s
+    /// `Deserialize` maps absence to `None`.
+    pub app: Option<String>,
 }
 
 impl Default for PipelineSnapshot {
@@ -155,7 +161,14 @@ impl PipelineSnapshot {
                     value: 0,
                 })
                 .collect(),
+            app: None,
         }
+    }
+
+    /// The same snapshot labeled as belonging to tenant `app`.
+    pub fn labeled(mut self, app: &str) -> Self {
+        self.app = Some(app.to_string());
+        self
     }
 
     /// Whether nothing has been recorded (or instrumentation is compiled
@@ -202,7 +215,11 @@ impl PipelineSnapshot {
                 },
             })
             .collect();
-        PipelineSnapshot { stages, counters }
+        PipelineSnapshot {
+            stages,
+            counters,
+            app: self.app.clone(),
+        }
     }
 
     /// Folds `other` into `self`, matching stages and counters by wire
@@ -223,6 +240,9 @@ impl PipelineSnapshot {
                 Some(mine) => mine.value += theirs.value,
                 None => self.counters.push(theirs.clone()),
             }
+        }
+        if self.app.is_none() {
+            self.app = other.app.clone();
         }
     }
 }

@@ -32,11 +32,14 @@ pub enum Stage {
     /// One seeded campaign run: simulate, build the case, score every
     /// scheme.
     EvalRun,
+    /// One full fleet drain: every queued tenant violation scheduled and
+    /// diagnosed.
+    FleetDrain,
 }
 
 impl Stage {
     /// Every stage, in registry order.
-    pub const ALL: [Stage; 11] = [
+    pub const ALL: [Stage; 12] = [
         Stage::SlaveSelection,
         Stage::SlaveCusum,
         Stage::SlaveFft,
@@ -48,6 +51,7 @@ impl Stage {
         Stage::MasterPinpoint,
         Stage::MasterValidation,
         Stage::EvalRun,
+        Stage::FleetDrain,
     ];
 
     /// The stage's slot in the static registry.
@@ -71,6 +75,7 @@ impl Stage {
             Stage::MasterPinpoint => "master_pinpoint",
             Stage::MasterValidation => "master_validation",
             Stage::EvalRun => "eval_run",
+            Stage::FleetDrain => "fleet_drain",
         }
     }
 }
@@ -120,11 +125,16 @@ pub enum Counter {
     /// the window-maximum prediction error never exceeded the error
     /// floor, so no change point could have been accepted.
     StreamingScreened,
+    /// Tenant SLO violations scheduled into a fleet drain queue.
+    FleetViolations,
+    /// Tenant lanes drained by a fleet master (one per tenant with at
+    /// least one queued violation).
+    FleetLanes,
 }
 
 impl Counter {
     /// Every counter, in registry order.
-    pub const ALL: [Counter; 18] = [
+    pub const ALL: [Counter; 20] = [
         Counter::MetricsAnalyzed,
         Counter::ComponentsAnalyzed,
         Counter::ChangePointCandidates,
@@ -143,6 +153,8 @@ impl Counter {
         Counter::IngestGapTicksBridged,
         Counter::IngestSeriesResets,
         Counter::StreamingScreened,
+        Counter::FleetViolations,
+        Counter::FleetLanes,
     ];
 
     /// The counter's slot in the static registry.
@@ -173,6 +185,8 @@ impl Counter {
             Counter::IngestGapTicksBridged => "ingest_gap_ticks_bridged",
             Counter::IngestSeriesResets => "ingest_series_resets",
             Counter::StreamingScreened => "streaming_screened",
+            Counter::FleetViolations => "fleet_violations",
+            Counter::FleetLanes => "fleet_lanes",
         }
     }
 }

@@ -61,3 +61,28 @@ pub use run::{RunConfig, RunRecord, ScalingOracle};
 pub use slo::{SloSpec, SloStatus};
 pub use topology::{AppKind, AppModel, ComponentSpec, Role};
 pub use workload::{HadoopPhases, ReplayParseError, ReplayTrace, WebTrace, Workload};
+
+/// The deterministic (application, fault) pair assigned to fleet tenant
+/// `index`: cycles the paper's three applications, each with a fault that
+/// reliably fires its SLO in a short seeded run, so any tenant count
+/// yields the same reproducible, heterogeneous fleet.
+///
+/// # Examples
+///
+/// ```
+/// use fchain_sim::{tenant_mix, AppKind};
+///
+/// assert_eq!(tenant_mix(0).0, AppKind::Rubis);
+/// assert_eq!(tenant_mix(0), tenant_mix(6), "the mix cycles");
+/// ```
+pub fn tenant_mix(index: usize) -> (AppKind, FaultKind) {
+    const MIX: [(AppKind, FaultKind); 6] = [
+        (AppKind::Rubis, FaultKind::CpuHog),
+        (AppKind::SystemS, FaultKind::Bottleneck),
+        (AppKind::Hadoop, FaultKind::ConcurrentDiskHog),
+        (AppKind::Rubis, FaultKind::MemLeak),
+        (AppKind::SystemS, FaultKind::CpuHog),
+        (AppKind::Hadoop, FaultKind::ConcurrentCpuHog),
+    ];
+    MIX[index % MIX.len()]
+}

@@ -9,9 +9,12 @@
 
 use fchain::core::master::Master;
 use fchain::core::slave::{MetricSample, SlaveDaemon};
-use fchain::core::{AnalysisEngine, FChainConfig, FaultySlave, SlaveEndpoint, SlaveFault};
+use fchain::core::{
+    AnalysisEngine, FChainConfig, FaultySlave, FleetMaster, FleetViolation, SlaveEndpoint,
+    SlaveFault, TenantSlave,
+};
 use fchain::eval::case_from_run;
-use fchain::metrics::{ComponentId, MetricKind};
+use fchain::metrics::{AppId, ComponentId, MetricKind};
 use fchain::sim::{AppKind, FaultKind, RunConfig, Simulator};
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -76,6 +79,48 @@ fn master_from_seeded_run_with(
         master.set_dependencies(deps);
     }
     Some((master, case.violation_at))
+}
+
+/// Builds a [`FleetMaster`] with a single tenant wired exactly like
+/// [`master_from_seeded_run_with`] wires its `Master`: two shared-pool
+/// hosts, components split round-robin, every slave registered as a
+/// tenant-scoped view.
+fn fleet_from_seeded_run(
+    app: AppKind,
+    fault: FaultKind,
+    seed: u64,
+    config: &FChainConfig,
+) -> Option<(FleetMaster, AppId, u64)> {
+    let run = Simulator::new(RunConfig::new(app, fault, seed)).run();
+    let case = case_from_run(&run, 100)?;
+    let mut fleet = FleetMaster::new(config.clone());
+    let tenant = fleet.add_tenant("only");
+    let hosts: Vec<Arc<SlaveDaemon>> = (0..2)
+        .map(|_| Arc::new(SlaveDaemon::new(config.clone())))
+        .collect();
+    for (i, component) in case.components.iter().enumerate() {
+        let host = &hosts[i % hosts.len()];
+        for kind in MetricKind::ALL {
+            for (tick, value) in component.metric(kind).iter() {
+                host.ingest_for(
+                    tenant,
+                    MetricSample {
+                        tick,
+                        component: component.id,
+                        kind,
+                        value,
+                    },
+                );
+            }
+        }
+    }
+    for host in hosts {
+        fleet.register_slave(tenant, Arc::new(TenantSlave::new(host, tenant)));
+    }
+    if let Some(deps) = case.discovered_deps.clone() {
+        fleet.set_dependencies(tenant, deps);
+    }
+    Some((fleet, tenant, case.violation_at))
 }
 
 fn assert_parity(app: AppKind, fault: FaultKind, seeds: &[u64]) {
@@ -190,6 +235,57 @@ fn batch_and_streaming_engines_agree_on_seeded_runs() {
         compared += 1;
     }
     assert!(compared >= 3, "only {compared} seeded cases fired");
+}
+
+/// A fleet of one tenant must produce bit-identical diagnosis payloads
+/// to the single-app `Master` wrapper — same golden campaign cases, both
+/// engines, both drain paths. This is the contract that lets the
+/// single-app API stay a thin wrapper over the fleet layer.
+#[test]
+fn fleet_of_one_matches_the_single_app_master() {
+    let cases = [
+        (AppKind::Rubis, FaultKind::CpuHog, 900u64),
+        (AppKind::Rubis, FaultKind::CpuHog, 901),
+        (AppKind::Hadoop, FaultKind::ConcurrentMemLeak, 40),
+        (AppKind::SystemS, FaultKind::MemLeak, 500),
+    ];
+    let mut compared = 0;
+    for engine in [AnalysisEngine::Batch, AnalysisEngine::Streaming] {
+        let config = engine_config(engine);
+        for (app, fault, seed) in cases {
+            let Some((master, violation_at)) =
+                master_from_seeded_run_with(app, fault, seed, false, &config)
+            else {
+                continue;
+            };
+            let (fleet, tenant, fleet_violation_at) =
+                fleet_from_seeded_run(app, fault, seed, &config)
+                    .expect("same seed must produce the same case");
+            assert_eq!(violation_at, fleet_violation_at);
+            let violation = FleetViolation {
+                app: tenant,
+                violation_at,
+            };
+            let drained = fleet.on_violations(&[violation]);
+            assert_eq!(drained.len(), 1);
+            assert_eq!(drained[0].app, tenant);
+            // `DiagnosisReport::eq` ignores provenance, so this is "same
+            // verdict, same pinpointing, same findings, bit for bit".
+            assert_eq!(
+                master.on_violation(violation_at),
+                drained[0].report,
+                "{app:?}/{fault:?} seed {seed} ({engine:?}): fleet drain diverges"
+            );
+            let sequential = fleet.on_violations_sequential(&[violation]);
+            assert_eq!(
+                master.on_violation_sequential(violation_at),
+                sequential[0].report,
+                "{app:?}/{fault:?} seed {seed} ({engine:?}): sequential drain diverges"
+            );
+            compared += 1;
+        }
+    }
+    assert!(compared >= 6, "only {compared} seeded cases fired");
 }
 
 /// One synthetic metric stream with adversarial ingest conditions: a

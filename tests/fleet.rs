@@ -1,0 +1,161 @@
+//! Fleet-layer integration: many tenants, one master, one shared slave
+//! pool — exercised through the `fchain` facade crate.
+//!
+//! * a heterogeneous two-tenant fleet drains to the same per-tenant
+//!   reports on the parallel and sequential paths;
+//! * duplicate slave registration is a documented no-op at both the
+//!   single-app and fleet APIs;
+//! * two back-to-back fleet campaigns in one process leave *disjoint*
+//!   observability deltas: `delta_since` windows partition the fleet
+//!   counters instead of double-counting (with instrumentation compiled
+//!   out the test is vacuous and skips).
+
+use fchain::core::master::Master;
+use fchain::core::slave::{MetricSample, SlaveDaemon};
+use fchain::core::{
+    FChainConfig, FleetMaster, FleetViolation, SlaveEndpoint, TenantSlave, Verdict,
+};
+use fchain::eval::{case_from_run, FleetCampaign};
+use fchain::metrics::MetricKind;
+use fchain::obs::{self, Counter};
+use fchain::sim::{tenant_mix, RunConfig, Simulator};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Serializes the tests that drive fleet drains: the observability
+/// counters are process-global, so concurrent drains in this binary
+/// would pollute each other's `delta_since` windows.
+fn drain_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+#[test]
+fn heterogeneous_fleet_drains_on_both_paths_identically() {
+    let _guard = drain_lock().lock().unwrap();
+    let config = FChainConfig::default();
+    let pool: Vec<Arc<SlaveDaemon>> = (0..2)
+        .map(|_| Arc::new(SlaveDaemon::new(config.clone())))
+        .collect();
+    let mut fleet = FleetMaster::new(config.clone());
+
+    let mut violations = Vec::new();
+    for i in 0..2usize {
+        let (app_kind, fault) = tenant_mix(i);
+        let run =
+            Simulator::new(RunConfig::new(app_kind, fault, 4100 + i as u64).with_duration(1500))
+                .run();
+        let case = case_from_run(&run, 100).expect("seeded SLO violation");
+        let tenant = fleet.add_tenant(app_kind.name());
+        for (c, component) in case.components.iter().enumerate() {
+            let host = &pool[(i + c) % pool.len()];
+            for kind in MetricKind::ALL {
+                for (tick, value) in component.metric(kind).iter() {
+                    host.ingest_for(
+                        tenant,
+                        MetricSample {
+                            tick,
+                            component: component.id,
+                            kind,
+                            value,
+                        },
+                    );
+                }
+            }
+        }
+        for host in &pool {
+            fleet.register_slave(tenant, Arc::new(TenantSlave::new(Arc::clone(host), tenant)));
+        }
+        if let Some(deps) = case.discovered_deps.clone() {
+            fleet.set_dependencies(tenant, deps);
+        }
+        violations.push(FleetViolation {
+            app: tenant,
+            violation_at: case.violation_at,
+        });
+    }
+
+    let parallel = fleet.on_violations(&violations);
+    let sequential = fleet.on_violations_sequential(&violations);
+    assert_eq!(parallel.len(), 2, "every tenant must be drained");
+    // `FleetReport::eq` ignores the latency stamp, so this is per-tenant
+    // bit-identical diagnosis payloads in the same drain order.
+    assert_eq!(parallel, sequential);
+    for report in &parallel {
+        assert_eq!(
+            report.report.verdict,
+            Verdict::Faulty,
+            "tenant {:?} must localize its injected fault",
+            fleet.tenant_name(report.app)
+        );
+    }
+}
+
+#[test]
+fn duplicate_slave_registration_is_a_no_op_everywhere() {
+    let config = FChainConfig::default();
+
+    // Single-app API: re-registering the same endpoint is rejected.
+    let mut master = Master::new(config.clone());
+    let daemon = Arc::new(SlaveDaemon::new(config.clone()));
+    assert!(master.register_slave(Arc::clone(&daemon) as Arc<dyn SlaveEndpoint>));
+    assert!(!master.register_slave(Arc::clone(&daemon) as Arc<dyn SlaveEndpoint>));
+    assert_eq!(master.slave_count(), 1);
+
+    // Fleet API: the same rejection per tenant — but two tenants may each
+    // hold their own view of one shared daemon.
+    let mut fleet = FleetMaster::new(config.clone());
+    let shop = fleet.add_tenant("shop");
+    let wiki = fleet.add_tenant("wiki");
+    let shop_view: Arc<dyn SlaveEndpoint> = Arc::new(TenantSlave::new(Arc::clone(&daemon), shop));
+    assert!(fleet.register_slave(shop, Arc::clone(&shop_view)));
+    assert!(!fleet.register_slave(shop, shop_view));
+    assert!(fleet.register_slave(wiki, Arc::new(TenantSlave::new(daemon, wiki))));
+    assert_eq!(fleet.slave_count(shop), 1);
+    assert_eq!(fleet.slave_count(wiki), 1);
+}
+
+#[test]
+fn back_to_back_campaigns_leave_disjoint_obs_deltas() {
+    let _guard = drain_lock().lock().unwrap();
+    if !obs::enabled() {
+        return; // instrumentation compiled out or switched off
+    }
+    let base = obs::snapshot();
+    let first = FleetCampaign {
+        duration: 1500,
+        rpc_delay_ms: 10,
+        ..FleetCampaign::new(2, 4100)
+    };
+    let a = first.evaluate();
+    let after_first = obs::snapshot();
+    let second = FleetCampaign {
+        duration: 1500,
+        rpc_delay_ms: 10,
+        ..FleetCampaign::new(3, 4100)
+    };
+    let b = second.evaluate();
+    let after_second = obs::snapshot();
+
+    // Each window counts exactly its own campaign's drain...
+    let delta_a = after_first.delta_since(&base);
+    let delta_b = after_second.delta_since(&after_first);
+    assert_eq!(
+        delta_a.counter(Counter::FleetViolations),
+        a.diagnoses as u64
+    );
+    assert_eq!(delta_a.counter(Counter::FleetLanes), a.diagnoses as u64);
+    assert_eq!(
+        delta_b.counter(Counter::FleetViolations),
+        b.diagnoses as u64
+    );
+    assert_eq!(delta_b.counter(Counter::FleetLanes), b.diagnoses as u64);
+    // ...and the windows partition the total instead of double-counting.
+    let total = after_second.delta_since(&base);
+    for counter in [Counter::FleetViolations, Counter::FleetLanes] {
+        assert_eq!(
+            total.counter(counter),
+            delta_a.counter(counter) + delta_b.counter(counter),
+            "{counter:?} delta windows overlap"
+        );
+    }
+}
