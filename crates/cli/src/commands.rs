@@ -391,11 +391,12 @@ pub fn fleet(args: &Args) -> CliResult {
             })
             .collect::<Result<_, _>>()?,
     };
-    let config = FChainConfig {
+    let mut config = FChainConfig {
         slave_deadline_ms: args.get_parsed("slave-deadline-ms", 2_000u64)?,
         engine: parse_engine(args)?,
         ..FChainConfig::default()
     };
+    config.ensemble.enabled = args.has("ensemble");
     let base = FleetCampaign {
         base_seed: args.get_parsed("seed", 4100u64)?,
         duration: args.get_parsed("duration", 1500u64)?,
@@ -407,6 +408,36 @@ pub fn fleet(args: &Args) -> CliResult {
         config,
         ..FleetCampaign::new(1, 4100)
     };
+    // `--attribute`: instead of the throughput sweep, re-diagnose every
+    // tenant of each sweep point solo (same seeds, same engine) and
+    // classify each fleet-vs-solo divergence.
+    if args.has("attribute") {
+        let mut campaign = base.clone();
+        let mut reports = Vec::new();
+        for &tenants in &tenant_counts {
+            campaign.tenants = tenants;
+            let report = fchain_eval::attribute(&campaign);
+            if !(args.has("json") || args.get("out").is_some()) {
+                println!("fleet attribution — {tenants} tenant(s)");
+                println!("{}", report.render());
+            }
+            reports.push(report.to_json());
+        }
+        write_obs_json(args, &obs::snapshot())?;
+        if args.has("json") || args.get("out").is_some() {
+            let rendered = serde_json::to_string_pretty(&serde_json::Value::Seq(reports))?;
+            match args.get("out") {
+                Some(path) => {
+                    std::fs::write(path, &rendered)
+                        .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+                    println!("wrote {path}");
+                }
+                None => println!("{rendered}"),
+            }
+        }
+        return Ok(());
+    }
+
     let mut results = Vec::new();
     let mut campaign = base.clone();
     for &tenants in &tenant_counts {
@@ -716,6 +747,33 @@ mod tests {
         ])
         .unwrap();
         diagnose(&args).expect("diagnose runs");
+    }
+
+    #[test]
+    fn fleet_attribute_command_end_to_end() {
+        let out = std::env::temp_dir().join("fchain-fleet-attribution-test.json");
+        let out = out.to_str().expect("utf-8 temp path");
+        let args = Args::parse([
+            "fleet",
+            "--tenants",
+            "2",
+            "--rpc-delay-ms",
+            "0",
+            "--slave-deadline-ms",
+            "60000",
+            "--ensemble",
+            "--attribute",
+            "--out",
+            out,
+        ])
+        .unwrap();
+        fleet(&args).expect("fleet --attribute runs");
+        let rendered = std::fs::read_to_string(out).expect("attribution JSON written");
+        let _ = std::fs::remove_file(out);
+        assert!(rendered.contains("fleet_attribution"));
+        for class in ["clean", "harder_case", "evidence_truncation"] {
+            assert!(rendered.contains(class), "missing class {class}");
+        }
     }
 
     #[test]

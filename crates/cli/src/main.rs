@@ -6,7 +6,7 @@
 //! fchain diagnose --app rubis --fault memleak --seed 7 [--lookback 100] [--validate] [--json]
 //! fchain compare  --app systems --fault conc_memleak [--runs 30] [--lookback 100]
 //! fchain degraded --app rubis --fault cpuhog [--rates 0,0.25,0.5] [--hosts 4] [--json]
-//! fchain fleet    [--tenants 1,4,8] [--hosts 2] [--rpc-delay-ms 100] [--json]
+//! fchain fleet    [--tenants 1,4,8] [--hosts 2] [--ensemble] [--attribute] [--json]
 //! fchain surge    --app rubis [--seed 1] [--runs 10]
 //! fchain obs      [--app rubis] [--fault cpuhog] [--seed 900] [--hosts 2] [--json]
 //! fchain list
@@ -64,6 +64,9 @@ FLEET FLAGS (fchain fleet):
     --stalled <N>                   tenants whose extra slave stalls (default 0)
     --stall-ms <MS>                 stall duration for those slaves (default 0)
     --slave-deadline-ms <MS>        per-slave response deadline (default 2000)
+    --ensemble                      enable the ensemble pinpointing stage
+    --attribute                     diff every tenant's fleet report against a
+                                    solo re-run and classify each divergence
     --out <PATH>                    write the JSON sweep to a file
 ";
 

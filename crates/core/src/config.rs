@@ -161,6 +161,115 @@ impl Deserialize for FleetConfig {
     }
 }
 
+/// Ensemble pinpointing knobs (see [`crate::master::ensemble`]): fuses
+/// the onset chain with dependency-graph centrality and per-evidence
+/// confidence weights.
+///
+/// Disabled by default — with `enabled == false` every diagnosis is
+/// bit-identical to the base §II.C pipeline, which is what the
+/// determinism suite pins.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnsembleConfig {
+    /// Master switch. Off = the base pipeline, bit for bit.
+    pub enabled: bool,
+    /// Minimum per-evidence confidence (prediction-error excess ratio,
+    /// after the coverage penalty) for a change to vote in the onset
+    /// chain. Genuine faults land well above 1.35 on the calibration
+    /// campaigns; borderline noise sits in 1.0–1.3.
+    pub confidence_floor: f64,
+    /// How strongly missing coverage discounts evidence: a change's
+    /// confidence is divided by `1 + penalty * (1 - coverage)`. `0`
+    /// trusts clipped diagnoses as much as complete ones.
+    pub coverage_penalty: f64,
+    /// Pinpoint dependency-graph *sources* inside the near-concurrent
+    /// onset window even when detection jitter pushed them past the
+    /// strict concurrency threshold.
+    pub centrality_widening: bool,
+    /// Re-read an "external factor" wave with exactly one silent interior
+    /// component as that component's own fault (the bottleneck hole).
+    pub silent_hole: bool,
+}
+
+impl Default for EnsembleConfig {
+    fn default() -> Self {
+        EnsembleConfig {
+            enabled: false,
+            confidence_floor: 1.35,
+            coverage_penalty: 1.0,
+            centrality_widening: true,
+            silent_hole: true,
+        }
+    }
+}
+
+// Hand-written serde impls, same pattern as [`FleetConfig`]'s: configs
+// serialized before the ensemble stage existed have no `ensemble` field
+// (`Content::Null` on lookup) and must land on the disabled default; a
+// partially-specified map fills the unnamed knobs with their defaults.
+impl Serialize for EnsembleConfig {
+    fn serialize(&self) -> serde::Content {
+        serde::Content::Map(vec![
+            (
+                serde::Content::Str("enabled".to_string()),
+                serde::Content::Bool(self.enabled),
+            ),
+            (
+                serde::Content::Str("confidence_floor".to_string()),
+                serde::Content::F64(self.confidence_floor),
+            ),
+            (
+                serde::Content::Str("coverage_penalty".to_string()),
+                serde::Content::F64(self.coverage_penalty),
+            ),
+            (
+                serde::Content::Str("centrality_widening".to_string()),
+                serde::Content::Bool(self.centrality_widening),
+            ),
+            (
+                serde::Content::Str("silent_hole".to_string()),
+                serde::Content::Bool(self.silent_hole),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for EnsembleConfig {
+    fn deserialize(c: &serde::Content) -> Result<Self, serde::DeError> {
+        fn as_bool(c: &serde::Content) -> Result<bool, serde::DeError> {
+            match c {
+                serde::Content::Bool(v) => Ok(*v),
+                other => Err(serde::DeError::expected("a boolean ensemble knob", other)),
+            }
+        }
+        fn as_f64(c: &serde::Content) -> Result<f64, serde::DeError> {
+            match c {
+                serde::Content::F64(v) => Ok(*v),
+                serde::Content::U64(v) => Ok(*v as f64),
+                serde::Content::I64(v) => Ok(*v as f64),
+                other => Err(serde::DeError::expected("a numeric ensemble knob", other)),
+            }
+        }
+        match c {
+            serde::Content::Null => Ok(EnsembleConfig::default()),
+            serde::Content::Map(entries) => {
+                let mut cfg = EnsembleConfig::default();
+                for (k, v) in entries {
+                    match k.as_str() {
+                        Some("enabled") => cfg.enabled = as_bool(v)?,
+                        Some("confidence_floor") => cfg.confidence_floor = as_f64(v)?,
+                        Some("coverage_penalty") => cfg.coverage_penalty = as_f64(v)?,
+                        Some("centrality_widening") => cfg.centrality_widening = as_bool(v)?,
+                        Some("silent_hole") => cfg.silent_hole = as_bool(v)?,
+                        _ => {}
+                    }
+                }
+                Ok(cfg)
+            }
+            other => Err(serde::DeError::expected("an ensemble config map", other)),
+        }
+    }
+}
+
 /// All knobs of the FChain system, with the defaults the paper reports
 /// working across every tested application (§III.A): look-back window
 /// `W = 100 s`, burst window `Q = 20 s`, top 90 % frequencies, 90th
@@ -250,6 +359,11 @@ pub struct FChainConfig {
     /// field — its `Deserialize` maps absence to the default, under which
     /// a fleet of one behaves exactly like the single-app stack.
     pub fleet: FleetConfig,
+    /// Ensemble pinpointing stage (centrality + confidence fusion over
+    /// the onset chain). Off by default; configs serialized before the
+    /// stage existed lack the field and deserialize to the disabled
+    /// default, keeping old reports bit-identical.
+    pub ensemble: EnsembleConfig,
     /// Online learner configuration (quantization, decay).
     pub learner: LearnerConfig,
     /// CUSUM + bootstrap configuration.
@@ -279,6 +393,7 @@ impl Default for FChainConfig {
             adaptive_smoothing: false,
             engine: AnalysisEngine::default(),
             fleet: FleetConfig::default(),
+            ensemble: EnsembleConfig::default(),
             learner: LearnerConfig::default(),
             cusum: CusumConfig::default(),
             outlier: OutlierConfig::default(),
@@ -327,6 +442,14 @@ impl FChainConfig {
         assert!(
             self.fleet.tenant_deadline_ms <= 600_000,
             "tenant_deadline_ms must stay under ten minutes"
+        );
+        assert!(
+            self.ensemble.confidence_floor.is_finite() && self.ensemble.confidence_floor >= 1.0,
+            "confidence_floor must be a finite ratio of at least 1.0"
+        );
+        assert!(
+            self.ensemble.coverage_penalty.is_finite() && self.ensemble.coverage_penalty >= 0.0,
+            "coverage_penalty must be finite and non-negative"
         );
     }
 }
@@ -431,6 +554,60 @@ mod tests {
         assert_eq!(partial.scheduler_seed, 7);
         assert_eq!(partial.max_tenants, 0);
         assert_eq!(partial.tenant_deadline_ms, 0);
+    }
+
+    #[test]
+    fn ensemble_is_off_by_default() {
+        let c = FChainConfig::default();
+        assert!(
+            !c.ensemble.enabled,
+            "ensemble must default to the base pipeline"
+        );
+        assert_eq!(c.ensemble.confidence_floor, 1.35);
+        assert_eq!(c.ensemble.coverage_penalty, 1.0);
+        assert!(c.ensemble.centrality_widening);
+        assert!(c.ensemble.silent_hole);
+    }
+
+    #[test]
+    fn ensemble_config_survives_serde_and_defaults_when_missing() {
+        let cfg = FChainConfig {
+            ensemble: EnsembleConfig {
+                enabled: true,
+                confidence_floor: 1.5,
+                coverage_penalty: 2.0,
+                centrality_widening: false,
+                silent_hole: false,
+            },
+            ..FChainConfig::default()
+        };
+        let json = serde_json::to_string(&cfg).expect("serializable config");
+        let back: FChainConfig = serde_json::from_str(&json).expect("round trip");
+        assert_eq!(back.ensemble, cfg.ensemble);
+        // Configs serialized before the ensemble stage existed must still
+        // load, and land on the disabled default.
+        let needle = "\"ensemble\":{\"enabled\":true,\"confidence_floor\":1.5,\
+                      \"coverage_penalty\":2.0,\"centrality_widening\":false,\
+                      \"silent_hole\":false},";
+        let needle: String = needle.split_whitespace().collect();
+        let stripped = json.replace(&needle, "");
+        assert_ne!(stripped, json, "ensemble field not found in {json}");
+        let old: FChainConfig = serde_json::from_str(&stripped).expect("legacy config");
+        assert_eq!(old.ensemble, EnsembleConfig::default());
+        // A partially-specified ensemble map fills the rest with defaults.
+        let partial: EnsembleConfig =
+            serde_json::from_str("{\"enabled\":true}").expect("partial ensemble map");
+        assert!(partial.enabled);
+        assert_eq!(partial.confidence_floor, 1.35);
+        assert!(partial.silent_hole);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence_floor")]
+    fn sub_unity_confidence_floor_rejected() {
+        let mut c = FChainConfig::default();
+        c.ensemble.confidence_floor = 0.5;
+        c.validate();
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::case::CaseData;
 use crate::config::FChainConfig;
 use crate::localizer::Localizer;
+use crate::master::ensemble::{ensemble_pinpoint, EnsembleInput};
 use crate::master::pinpoint::{pinpoint, PinpointInput};
 use crate::master::validation::{validate_pinpointing, ValidationProbe};
 use crate::report::{ComponentFinding, DiagnosisReport};
@@ -109,12 +110,33 @@ impl FChain {
             .iter()
             .map(|cc| analyze_component(cc, case.violation_at, w, &self.config))
             .collect();
-        let (verdict, pinpointed) = pinpoint(&PinpointInput {
-            findings: &findings,
-            dependencies: case.discovered_deps.as_ref(),
-            concurrency_threshold: self.config.concurrency_threshold,
-            external_quorum: self.config.external_quorum,
-        });
+        let (verdict, pinpointed) = if self.config.ensemble.enabled {
+            // The ensemble's centrality scoring falls back to the
+            // operator-declared dataflow topology when request-trace
+            // discovery found nothing (the System S outcome) — declared
+            // structure is weaker evidence than observed propagation, but
+            // the ensemble weighs it instead of ignoring it.
+            let deps = case
+                .discovered_deps
+                .as_ref()
+                .filter(|g| !g.is_empty())
+                .or(case.known_topology.as_ref());
+            ensemble_pinpoint(
+                &self.config,
+                &EnsembleInput {
+                    findings: &findings,
+                    dependencies: deps,
+                    coverage: 1.0,
+                },
+            )
+        } else {
+            pinpoint(&PinpointInput {
+                findings: &findings,
+                dependencies: case.discovered_deps.as_ref(),
+                concurrency_threshold: self.config.concurrency_threshold,
+                external_quorum: self.config.external_quorum,
+            })
+        };
         DiagnosisReport {
             verdict,
             pinpointed,

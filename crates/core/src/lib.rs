@@ -74,12 +74,13 @@ pub mod master;
 pub mod slave;
 
 pub use case::{CaseData, ComponentCase};
-pub use config::{AnalysisEngine, FChainConfig, FleetConfig};
+pub use config::{AnalysisEngine, EnsembleConfig, FChainConfig, FleetConfig};
 pub use fchain::FChain;
 pub use localizer::Localizer;
 pub use master::endpoint::{
     FaultySlave, SlaveEndpoint, SlaveError, SlaveFault, SlaveFaultSchedule, TenantSlave,
 };
+pub use master::ensemble::{ensemble_pinpoint, EnsembleInput, EnsembleScorer, ScoredComponent};
 pub use master::fleet::{FleetMaster, FleetReport, FleetViolation};
 pub use master::pinpoint::{pinpoint, PinpointInput};
 pub use master::validation::{validate_pinpointing, ValidationProbe};

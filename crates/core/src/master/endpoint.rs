@@ -59,6 +59,31 @@ pub trait SlaveEndpoint: Send + Sync + std::fmt::Debug {
     /// Reference single-threaded analysis; must return exactly what
     /// [`SlaveEndpoint::collect`] returns for the same state.
     fn collect_sequential(&self, violation_at: Tick) -> Result<Vec<ComponentFinding>, SlaveError>;
+
+    /// [`SlaveEndpoint::collect`] with a per-call look-back window
+    /// override (how the fleet serves a tenant whose fault profile needs
+    /// a longer `W` than the pool daemons are configured with). Endpoints
+    /// that cannot honor an override fall back to the configured window —
+    /// a degraded but well-formed answer, mirroring a daemon running an
+    /// older protocol revision.
+    fn collect_with_lookback(
+        &self,
+        violation_at: Tick,
+        _lookback: u64,
+    ) -> Result<Vec<ComponentFinding>, SlaveError> {
+        self.collect(violation_at)
+    }
+
+    /// Reference single-threaded analysis for
+    /// [`SlaveEndpoint::collect_with_lookback`]; must return exactly what
+    /// it returns for the same state.
+    fn collect_sequential_with_lookback(
+        &self,
+        violation_at: Tick,
+        _lookback: u64,
+    ) -> Result<Vec<ComponentFinding>, SlaveError> {
+        self.collect_sequential(violation_at)
+    }
 }
 
 impl SlaveEndpoint for SlaveDaemon {
@@ -72,6 +97,22 @@ impl SlaveEndpoint for SlaveDaemon {
 
     fn collect_sequential(&self, violation_at: Tick) -> Result<Vec<ComponentFinding>, SlaveError> {
         Ok(self.analyze_all_sequential(violation_at))
+    }
+
+    fn collect_with_lookback(
+        &self,
+        violation_at: Tick,
+        lookback: u64,
+    ) -> Result<Vec<ComponentFinding>, SlaveError> {
+        Ok(self.analyze_all_windowed(violation_at, lookback))
+    }
+
+    fn collect_sequential_with_lookback(
+        &self,
+        violation_at: Tick,
+        lookback: u64,
+    ) -> Result<Vec<ComponentFinding>, SlaveError> {
+        Ok(self.analyze_all_sequential_windowed(violation_at, lookback))
     }
 }
 
@@ -133,6 +174,26 @@ impl SlaveEndpoint for TenantSlave {
         Ok(self
             .daemon
             .analyze_all_sequential_for(self.app, violation_at))
+    }
+
+    fn collect_with_lookback(
+        &self,
+        violation_at: Tick,
+        lookback: u64,
+    ) -> Result<Vec<ComponentFinding>, SlaveError> {
+        Ok(self
+            .daemon
+            .analyze_all_for_windowed(self.app, violation_at, lookback))
+    }
+
+    fn collect_sequential_with_lookback(
+        &self,
+        violation_at: Tick,
+        lookback: u64,
+    ) -> Result<Vec<ComponentFinding>, SlaveError> {
+        Ok(self
+            .daemon
+            .analyze_all_sequential_for_windowed(self.app, violation_at, lookback))
     }
 }
 
@@ -248,6 +309,26 @@ impl SlaveEndpoint for FaultySlave {
 
     fn collect_sequential(&self, violation_at: Tick) -> Result<Vec<ComponentFinding>, SlaveError> {
         self.apply(violation_at, |t| self.inner.collect_sequential(t))
+    }
+
+    fn collect_with_lookback(
+        &self,
+        violation_at: Tick,
+        lookback: u64,
+    ) -> Result<Vec<ComponentFinding>, SlaveError> {
+        self.apply(violation_at, |t| {
+            self.inner.collect_with_lookback(t, lookback)
+        })
+    }
+
+    fn collect_sequential_with_lookback(
+        &self,
+        violation_at: Tick,
+        lookback: u64,
+    ) -> Result<Vec<ComponentFinding>, SlaveError> {
+        self.apply(violation_at, |t| {
+            self.inner.collect_sequential_with_lookback(t, lookback)
+        })
     }
 }
 

@@ -16,6 +16,7 @@
 
 use crate::config::FChainConfig;
 use crate::master::endpoint::{splitmix64, SlaveEndpoint, SlaveError};
+use crate::master::ensemble::{ensemble_pinpoint, EnsembleInput};
 use crate::master::pinpoint::{pinpoint, PinpointInput};
 use crate::master::validation::{validate_pinpointing, ValidationProbe};
 use crate::report::{ComponentFinding, DiagnosisCoverage, DiagnosisReport, SlaveStatus};
@@ -77,6 +78,10 @@ struct TenantState {
     config: FChainConfig,
     slaves: Vec<Arc<dyn SlaveEndpoint>>,
     dependencies: Option<DependencyGraph>,
+    /// Per-tenant look-back window override (paper Table I: the slow-
+    /// manifesting disk hog needs `W = 500`). `None` analyzes at the
+    /// fleet's configured window — the bit-identical default path.
+    lookback_override: Option<u64>,
 }
 
 impl TenantState {
@@ -86,7 +91,16 @@ impl TenantState {
             config,
             slaves: Vec::new(),
             dependencies: None,
+            lookback_override: None,
         }
+    }
+
+    /// The look-back override to send with collect calls, if any. An
+    /// override equal to the configured window is the same analysis, so
+    /// it stays on the plain (hint-accelerated) path.
+    fn lookback(&self) -> Option<u64> {
+        self.lookback_override
+            .filter(|&w| w != self.config.lookback)
     }
 
     /// One slave queried with bounded retry: transient errors are retried
@@ -95,6 +109,7 @@ impl TenantState {
     fn query_with_retry(
         slave: &dyn SlaveEndpoint,
         violation_at: Tick,
+        lookback: Option<u64>,
         retries: u32,
         backoff: Duration,
         sequential: bool,
@@ -105,10 +120,11 @@ impl TenantState {
                 obs::count(obs::Counter::SlaveRetries, 1);
             }
             let rpc_span = obs::time(obs::Stage::SlaveRpc);
-            let result = if sequential {
-                slave.collect_sequential(violation_at)
-            } else {
-                slave.collect(violation_at)
+            let result = match (sequential, lookback) {
+                (true, None) => slave.collect_sequential(violation_at),
+                (false, None) => slave.collect(violation_at),
+                (true, Some(w)) => slave.collect_sequential_with_lookback(violation_at, w),
+                (false, Some(w)) => slave.collect_with_lookback(violation_at, w),
             };
             drop(rpc_span);
             match result {
@@ -167,6 +183,7 @@ impl TenantState {
                     let mut outcome = Self::query_with_retry(
                         slave.as_ref(),
                         violation_at,
+                        self.lookback(),
                         retries,
                         backoff,
                         sequential,
@@ -245,12 +262,19 @@ impl TenantState {
         deadline: Option<Duration>,
     ) -> Vec<SlaveOutcome> {
         let (tx, rx) = mpsc::channel::<(usize, SlaveOutcome)>();
+        let lookback = self.lookback();
         for (i, slave) in self.slaves.iter().enumerate() {
             let slave = Arc::clone(slave);
             let tx = tx.clone();
             std::thread::spawn(move || {
-                let outcome =
-                    Self::query_with_retry(slave.as_ref(), violation_at, retries, backoff, false);
+                let outcome = Self::query_with_retry(
+                    slave.as_ref(),
+                    violation_at,
+                    lookback,
+                    retries,
+                    backoff,
+                    false,
+                );
                 // The receiver may have given up on us already.
                 let _ = tx.send((i, outcome));
             });
@@ -306,12 +330,23 @@ impl TenantState {
         coverage: DiagnosisCoverage,
     ) -> DiagnosisReport {
         let pinpoint_span = obs::time(obs::Stage::MasterPinpoint);
-        let (verdict, pinpointed) = pinpoint(&PinpointInput {
-            findings: &findings,
-            dependencies: self.dependencies.as_ref(),
-            concurrency_threshold: self.config.concurrency_threshold,
-            external_quorum: self.config.external_quorum,
-        });
+        let (verdict, pinpointed) = if self.config.ensemble.enabled {
+            ensemble_pinpoint(
+                &self.config,
+                &EnsembleInput {
+                    findings: &findings,
+                    dependencies: self.dependencies.as_ref(),
+                    coverage: coverage.coverage,
+                },
+            )
+        } else {
+            pinpoint(&PinpointInput {
+                findings: &findings,
+                dependencies: self.dependencies.as_ref(),
+                concurrency_threshold: self.config.concurrency_threshold,
+                external_quorum: self.config.external_quorum,
+            })
+        };
         drop(pinpoint_span);
         DiagnosisReport {
             verdict,
@@ -401,11 +436,21 @@ impl FleetMaster {
     /// A tenant's effective config: the fleet base with the per-tenant
     /// deadline budget ([`crate::config::FleetConfig::tenant_deadline_ms`])
     /// overriding the fan-out deadline when set.
+    ///
+    /// The deadline budget overrides *only* `slave_deadline_ms` — never
+    /// the evidence window. `lookback` reaches the tenant untouched (the
+    /// audit test `tenant_deadline_never_shrinks_the_evidence_window`
+    /// pins this), so a tight per-tenant budget can abandon stragglers
+    /// but can never silently narrow what an answering slave analyzes.
     fn effective_config(&self) -> FChainConfig {
         let mut config = self.config.clone();
         if self.config.fleet.tenant_deadline_ms > 0 {
             config.slave_deadline_ms = self.config.fleet.tenant_deadline_ms;
         }
+        debug_assert_eq!(
+            config.lookback, self.config.lookback,
+            "per-tenant overrides must not shrink the evidence window"
+        );
         config
     }
 
@@ -486,6 +531,46 @@ impl FleetMaster {
             .get_mut(&app)
             .unwrap_or_else(|| panic!("unknown tenant {app}"));
         tenant.dependencies = Some(deps);
+    }
+
+    /// Sets one tenant's look-back window override: its fan-outs ask the
+    /// slaves to analyze a `lookback`-tick window instead of the fleet's
+    /// configured one (the paper runs `W = 500` for the slow-manifesting
+    /// disk hog while everything else stays at `W = 100`). Returns the
+    /// window actually installed: a request below the minimum the
+    /// selection pipeline can work with is clamped up, counted on
+    /// [`fchain_obs::Counter::FleetLookbackClamped`] — an operator typo
+    /// must degrade loudly, never shrink a tenant's evidence window into
+    /// uselessness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `app` is not a tenant.
+    pub fn set_tenant_lookback(&mut self, app: AppId, lookback: u64) -> u64 {
+        /// The floor `FChainConfig::validate` enforces for the configured
+        /// window; per-tenant overrides get the same guarantee.
+        const MIN_LOOKBACK: u64 = 10;
+        let tenant = self
+            .tenants
+            .get_mut(&app)
+            .unwrap_or_else(|| panic!("unknown tenant {app}"));
+        let effective = if lookback < MIN_LOOKBACK {
+            obs::count(obs::Counter::FleetLookbackClamped, 1);
+            MIN_LOOKBACK
+        } else {
+            lookback
+        };
+        tenant.lookback_override = Some(effective);
+        effective
+    }
+
+    /// One tenant's effective look-back window (the override if set, the
+    /// fleet's configured window otherwise).
+    pub fn tenant_lookback(&self, app: AppId) -> u64 {
+        self.tenants
+            .get(&app)
+            .and_then(|t| t.lookback_override)
+            .unwrap_or(self.config.lookback)
     }
 
     /// Runs `f` against the tenant's state; an unknown tenant behaves as

@@ -8,6 +8,7 @@
 //! pinpointing by scaling the implicated resource and watching the SLO.
 
 pub mod endpoint;
+pub mod ensemble;
 pub mod fleet;
 pub mod orchestrator;
 pub mod pinpoint;
@@ -16,5 +17,6 @@ pub mod validation;
 pub use endpoint::{
     FaultySlave, SlaveEndpoint, SlaveError, SlaveFault, SlaveFaultSchedule, TenantSlave,
 };
+pub use ensemble::{ensemble_pinpoint, EnsembleInput, EnsembleScorer, ScoredComponent};
 pub use fleet::{FleetMaster, FleetReport, FleetViolation};
 pub use orchestrator::Master;

@@ -400,7 +400,7 @@ impl SlaveDaemon {
             Arc::clone(shards.get(&(app, component))?)
         };
         let mut comp = shard.lock();
-        self.analyze_shard(component, &mut comp, violation_at)
+        self.analyze_shard(component, &mut comp, violation_at, self.config.lookback)
     }
 
     /// The per-component analysis, run under that component's lock.
@@ -419,6 +419,7 @@ impl SlaveDaemon {
         component: ComponentId,
         comp: &mut ComponentState,
         violation_at: Tick,
+        lookback: u64,
     ) -> Option<ComponentFinding> {
         let _span = obs::time(obs::Stage::SlaveAnalyze);
         obs::count(obs::Counter::ComponentsAnalyzed, 1);
@@ -453,16 +454,19 @@ impl SlaveDaemon {
                 scratch.hist.truncate(state.values.len() - drop_tail);
                 scratch.errs.truncate(state.errors.len() - drop_tail);
                 // The sketch mirrors the normal span of the ring's *full*
-                // contents; trimming a tail moves the span, so the O(1)
-                // floor only applies when nothing is trimmed.
+                // contents at the configured window; trimming a tail moves
+                // the span and a per-call look-back override moves the
+                // window boundary, so the O(1) floor only applies when
+                // neither happened.
                 let floor_hint =
-                    (drop_tail == 0 && state.sketch_ok).then(|| state.sketch_floor(&self.config));
+                    (drop_tail == 0 && state.sketch_ok && lookback == self.config.lookback)
+                        .then(|| state.sketch_floor(&self.config));
                 select_abnormal_changes_streaming(
                     &scratch.hist,
                     &scratch.errs,
                     kind,
                     violation_at,
-                    self.config.lookback,
+                    lookback,
                     &self.config,
                     floor_hint,
                     &mut scratch.selection,
@@ -472,14 +476,7 @@ impl SlaveDaemon {
                 let errors = state.errors.to_vec();
                 let hist = &values[..values.len() - drop_tail];
                 let errs = &errors[..errors.len() - drop_tail];
-                select_abnormal_changes(
-                    hist,
-                    errs,
-                    kind,
-                    violation_at,
-                    self.config.lookback,
-                    &self.config,
-                )
+                select_abnormal_changes(hist, errs, kind, violation_at, lookback, &self.config)
             };
             if let Some(change) = change {
                 changes.push(change);
@@ -499,19 +496,58 @@ impl SlaveDaemon {
     /// are assembled in component-id order regardless of which worker
     /// finishes first.
     pub fn analyze_all(&self, violation_at: Tick) -> Vec<ComponentFinding> {
-        self.analyze_list(self.shard_list(), violation_at)
+        self.analyze_list(self.shard_list(), violation_at, self.config.lookback)
     }
 
     /// Analyzes every component one tenant application monitors, in
     /// parallel across components.
     pub fn analyze_all_for(&self, app: AppId, violation_at: Tick) -> Vec<ComponentFinding> {
-        self.analyze_list(self.shard_list_for(app), violation_at)
+        self.analyze_list(self.shard_list_for(app), violation_at, self.config.lookback)
+    }
+
+    /// [`SlaveDaemon::analyze_all`] with a per-call look-back window
+    /// override; see [`SlaveDaemon::analyze_all_for_windowed`].
+    pub fn analyze_all_windowed(&self, violation_at: Tick, lookback: u64) -> Vec<ComponentFinding> {
+        self.analyze_list(self.shard_list(), violation_at, lookback)
+    }
+
+    /// Reference single-threaded implementation of
+    /// [`SlaveDaemon::analyze_all_windowed`].
+    pub fn analyze_all_sequential_windowed(
+        &self,
+        violation_at: Tick,
+        lookback: u64,
+    ) -> Vec<ComponentFinding> {
+        Self::analyze_list_sequential(self, self.shard_list(), violation_at, lookback)
+    }
+
+    /// [`SlaveDaemon::analyze_all_for`] with a per-call look-back window
+    /// override — how the fleet serves tenants whose fault profile needs
+    /// a longer window (the paper runs `W = 500` for the slow-manifesting
+    /// disk hog) from a pool daemon configured at the default `W`.
+    ///
+    /// The streaming engine's O(1) error-floor shortcut assumes the
+    /// configured window, so an override analyzes with the floor computed
+    /// from the history instead — same selection core, same findings as a
+    /// daemon configured at `lookback` natively (given equal history).
+    pub fn analyze_all_for_windowed(
+        &self,
+        app: AppId,
+        violation_at: Tick,
+        lookback: u64,
+    ) -> Vec<ComponentFinding> {
+        self.analyze_list(self.shard_list_for(app), violation_at, lookback)
     }
 
     /// The shared fan-out: analyzes a shard snapshot in parallel,
     /// assembling findings in list (shard-key) order regardless of which
     /// worker finishes first.
-    fn analyze_list(&self, shards: Vec<ShardEntry>, violation_at: Tick) -> Vec<ComponentFinding> {
+    fn analyze_list(
+        &self,
+        shards: Vec<ShardEntry>,
+        violation_at: Tick,
+        lookback: u64,
+    ) -> Vec<ComponentFinding> {
         let workers = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
@@ -520,7 +556,7 @@ impl SlaveDaemon {
             return shards
                 .iter()
                 .filter_map(|(key, shard)| {
-                    self.analyze_shard(key.1, &mut shard.lock(), violation_at)
+                    self.analyze_shard(key.1, &mut shard.lock(), violation_at, lookback)
                 })
                 .collect();
         }
@@ -535,7 +571,8 @@ impl SlaveDaemon {
                         break;
                     }
                     let ((_, c), shard) = &shards[i];
-                    *slots[i].lock() = self.analyze_shard(*c, &mut shard.lock(), violation_at);
+                    *slots[i].lock() =
+                        self.analyze_shard(*c, &mut shard.lock(), violation_at, lookback);
                 });
             }
         });
@@ -546,7 +583,7 @@ impl SlaveDaemon {
     /// [`SlaveDaemon::analyze_all`]; the parallel path is tested to match
     /// it exactly.
     pub fn analyze_all_sequential(&self, violation_at: Tick) -> Vec<ComponentFinding> {
-        Self::analyze_list_sequential(self, self.shard_list(), violation_at)
+        Self::analyze_list_sequential(self, self.shard_list(), violation_at, self.config.lookback)
     }
 
     /// Reference single-threaded implementation of
@@ -556,17 +593,36 @@ impl SlaveDaemon {
         app: AppId,
         violation_at: Tick,
     ) -> Vec<ComponentFinding> {
-        Self::analyze_list_sequential(self, self.shard_list_for(app), violation_at)
+        Self::analyze_list_sequential(
+            self,
+            self.shard_list_for(app),
+            violation_at,
+            self.config.lookback,
+        )
+    }
+
+    /// Reference single-threaded implementation of
+    /// [`SlaveDaemon::analyze_all_for_windowed`].
+    pub fn analyze_all_sequential_for_windowed(
+        &self,
+        app: AppId,
+        violation_at: Tick,
+        lookback: u64,
+    ) -> Vec<ComponentFinding> {
+        Self::analyze_list_sequential(self, self.shard_list_for(app), violation_at, lookback)
     }
 
     fn analyze_list_sequential(
         &self,
         shards: Vec<ShardEntry>,
         violation_at: Tick,
+        lookback: u64,
     ) -> Vec<ComponentFinding> {
         shards
             .iter()
-            .filter_map(|(key, shard)| self.analyze_shard(key.1, &mut shard.lock(), violation_at))
+            .filter_map(|(key, shard)| {
+                self.analyze_shard(key.1, &mut shard.lock(), violation_at, lookback)
+            })
             .collect()
     }
 }

@@ -1,0 +1,48 @@
+//! Quick fleet-accuracy probe: precision/recall per tenant count, with
+//! and without the ensemble, at a chosen duration.
+//!
+//! ```sh
+//! DUR=1500 ENSEMBLE=1 cargo run --release -p fchain-eval --example fleet_accuracy
+//! ```
+
+use fchain_core::FChainConfig;
+use fchain_eval::FleetCampaign;
+
+fn main() {
+    let duration: u64 = std::env::var("DUR")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1500);
+    let ensemble = std::env::var("ENSEMBLE").map(|v| v == "1").unwrap_or(false);
+    let mut config = FChainConfig {
+        slave_deadline_ms: 3_000,
+        ..FChainConfig::default()
+    };
+    config.ensemble.enabled = ensemble;
+    for tenants in [1usize, 4, 8, 32] {
+        let campaign = FleetCampaign {
+            duration,
+            rpc_delay_ms: 0,
+            config: config.clone(),
+            ..FleetCampaign::new(tenants, 4100)
+        };
+        let result = campaign.evaluate();
+        println!(
+            "tenants {tenants:>2}: P {:.3} R {:.3} (tp {} fp {} fn {}) divergent {:?}",
+            result.counts.precision(),
+            result.counts.recall(),
+            result.counts.tp,
+            result.counts.fp,
+            result.counts.fn_,
+            result.divergent_tenants(),
+        );
+        for t in &result.per_tenant {
+            if t.counts.fp > 0 || t.counts.fn_ > 0 {
+                println!(
+                    "    miss tenant {:>2} {:<24} W {:>3}: got {:?} truth {:?} solo {:?}",
+                    t.tenant, t.family, t.lookback, t.pinpointed, t.truth, t.solo_pinpointed
+                );
+            }
+        }
+    }
+}

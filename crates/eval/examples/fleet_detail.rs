@@ -1,0 +1,110 @@
+//! Deep-dive probe: full findings for chosen tenant-mix cases, the base
+//! pinpoint, and the ensemble's view — for tuning the ensemble scorer.
+//!
+//! ```sh
+//! DUR=1500 TENANTS=1,7,13 cargo run --release -p fchain-eval --example fleet_detail
+//! ```
+
+use fchain_core::master::pinpoint::{pinpoint, PinpointInput};
+use fchain_core::{EnsembleInput, EnsembleScorer, FChain, FChainConfig};
+use fchain_eval::{case_from_run, SLOW_FAULT_LOOKBACK};
+use fchain_sim::{tenant_mix, RunConfig, Simulator};
+
+fn main() {
+    let duration: u64 = std::env::var("DUR")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1500);
+    let tenants: Vec<usize> = std::env::var("TENANTS")
+        .unwrap_or_else(|_| "1,7,13,19,25,31".into())
+        .split(',')
+        .filter_map(|v| v.trim().parse().ok())
+        .collect();
+    let mut config = FChainConfig::default();
+    config.ensemble.enabled = true;
+    for i in tenants {
+        let (app_kind, fault) = tenant_mix(i);
+        let seed = 4100 + i as u64;
+        let run =
+            Simulator::new(RunConfig::new(app_kind, fault, seed).with_duration(duration)).run();
+        let Some(mut case) = case_from_run(&run, 100) else {
+            println!("=== tenant {i}: SLO never fired");
+            continue;
+        };
+        if fault.is_slow_manifesting() {
+            case.lookback = SLOW_FAULT_LOOKBACK;
+        }
+        let solo = FChain::new(config.clone());
+        let report = solo.diagnose(&case);
+        let findings = solo.analyze(&case);
+        let deps = case
+            .discovered_deps
+            .as_ref()
+            .filter(|g| !g.is_empty())
+            .or(case.known_topology.as_ref());
+        let base = pinpoint(&PinpointInput {
+            findings: &findings,
+            dependencies: case.discovered_deps.as_ref(),
+            concurrency_threshold: config.concurrency_threshold,
+            external_quorum: config.external_quorum,
+        });
+        println!(
+            "=== tenant {i} {}/{:?} seed {seed} W {} t_v={} fault@{} truth={:?}",
+            app_kind.name(),
+            fault,
+            case.lookback,
+            case.violation_at,
+            run.fault.start,
+            run.fault.targets
+        );
+        println!(
+            "    base verdict {:?} pinpointed {:?} | ensemble {:?} {:?}",
+            base.0, base.1, report.verdict, report.pinpointed
+        );
+        if let Some(deps) = deps {
+            println!("    deps: {:?}", deps.edges());
+        } else {
+            println!("    deps: none");
+        }
+        let scorer = EnsembleScorer::new(&config);
+        let input = EnsembleInput {
+            findings: &findings,
+            dependencies: deps,
+            coverage: 1.0,
+        };
+        for s in scorer.rank(&input) {
+            println!(
+                "    rank c{} onset {} conf {:.3} centr {:.3} score {:.4}",
+                s.id.0, s.onset, s.confidence, s.centrality, s.score
+            );
+        }
+        for f in &findings {
+            if f.changes.is_empty() {
+                println!("    c{}: silent", f.id.0);
+                continue;
+            }
+            let parts: Vec<String> = f
+                .changes
+                .iter()
+                .map(|c| {
+                    format!(
+                        "{:?}@{} onset {} err {:.1}/{:.1} ratio {:.2} {:?}",
+                        c.metric,
+                        c.change_at,
+                        c.onset,
+                        c.prediction_error,
+                        c.expected_error,
+                        c.prediction_error / c.expected_error.max(1e-9),
+                        c.direction
+                    )
+                })
+                .collect();
+            println!(
+                "    c{} onset {:?}: {}",
+                f.id.0,
+                f.onset(),
+                parts.join(" | ")
+            );
+        }
+    }
+}

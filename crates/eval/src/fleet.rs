@@ -22,13 +22,21 @@ use crate::casegen::case_from_run;
 use crate::score::Counts;
 use fchain_core::slave::{MetricSample, SlaveDaemon};
 use fchain_core::{
-    FChainConfig, FaultySlave, FleetMaster, FleetViolation, SlaveEndpoint, SlaveFault, TenantSlave,
+    FChain, FChainConfig, FaultySlave, FleetMaster, FleetViolation, SlaveEndpoint, SlaveFault,
+    TenantSlave,
 };
-use fchain_metrics::{stats, AppId, MetricKind, Tick};
+use fchain_metrics::{stats, AppId, ComponentId, MetricKind, Tick};
 use fchain_sim::{tenant_mix, RunConfig, Simulator};
 use serde_json::json;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Evidence window for slow-manifesting faults (DiskHog), matching the
+/// paper's hand-picked `W = 500` and [`crate::Campaign::new`]. The fleet
+/// path historically analyzed every tenant at the default window — the
+/// root cause of the multi-tenant recall collapse — so
+/// [`FleetCampaign::evaluate`] now installs this per-tenant override.
+pub const SLOW_FAULT_LOOKBACK: u64 = 500;
 
 /// One fleet drain at a fixed tenant count.
 #[derive(Debug, Clone)]
@@ -57,6 +65,40 @@ pub struct FleetCampaign {
     pub config: FChainConfig,
 }
 
+/// Per-tenant scoring and solo-vs-fleet divergence for one drain.
+///
+/// The solo reference is the paper's single-application pipeline
+/// ([`FChain::diagnose`]) run on the *exact same* seeded case with the
+/// same config and effective evidence window — so a divergence isolates
+/// what the fleet path itself changed (shared-pool evidence bounds,
+/// deadline budgets, scheduling), never the case draw.
+#[derive(Debug, Clone)]
+pub struct TenantOutcome {
+    /// Tenant index within the drain (`tenant_mix(tenant)`).
+    pub tenant: usize,
+    /// The tenant's fleet identity.
+    pub app: AppId,
+    /// Registered tenant name, e.g. `rubis-3`.
+    pub name: String,
+    /// Scenario family, e.g. `rubis/CpuHog` — the unit the divergence
+    /// summary aggregates over.
+    pub family: String,
+    /// The tenant's simulation seed (`base_seed + tenant`).
+    pub seed: u64,
+    /// Effective evidence window the fleet analyzed this tenant at.
+    pub lookback: u64,
+    /// This tenant's pinpointing score against ground truth.
+    pub counts: Counts,
+    /// What the fleet drain pinpointed.
+    pub pinpointed: Vec<ComponentId>,
+    /// Ground-truth faulty components.
+    pub truth: Vec<ComponentId>,
+    /// What the solo (single-app, in-process) pipeline pinpointed.
+    pub solo_pinpointed: Vec<ComponentId>,
+    /// Whether the fleet report differs from the solo report.
+    pub divergent: bool,
+}
+
 /// What one drain measured.
 #[derive(Debug, Clone)]
 pub struct FleetResult {
@@ -78,6 +120,71 @@ pub struct FleetResult {
     pub healthy_p99_latency_ms: f64,
     /// Pinpointing accuracy accumulated across tenants.
     pub counts: Counts,
+    /// Per-tenant scores and solo-vs-fleet divergence, in tenant order.
+    pub per_tenant: Vec<TenantOutcome>,
+}
+
+impl FleetResult {
+    /// Indices of tenants whose fleet report differs from their solo
+    /// report (same seed, same engine, same window).
+    pub fn divergent_tenants(&self) -> Vec<usize> {
+        self.per_tenant
+            .iter()
+            .filter(|t| t.divergent)
+            .map(|t| t.tenant)
+            .collect()
+    }
+
+    /// Scenario families with at least one diverging tenant, deduplicated
+    /// and sorted — the "which workload shapes does the fleet path distort"
+    /// summary.
+    pub fn divergent_families(&self) -> Vec<String> {
+        let mut families: Vec<String> = self
+            .per_tenant
+            .iter()
+            .filter(|t| t.divergent)
+            .map(|t| t.family.clone())
+            .collect();
+        families.sort();
+        families.dedup();
+        families
+    }
+}
+
+/// One tenant staged into a drain: its outcome template plus the
+/// evidence ([`CaseData`], installed dependency graph) needed to re-run
+/// the same tenant on a dedicated pool.
+pub(crate) struct StagedTenant {
+    pub(crate) outcome: TenantOutcome,
+    pub(crate) stalled: bool,
+    pub(crate) case: fchain_core::CaseData,
+    pub(crate) deps: Option<fchain_deps::DependencyGraph>,
+}
+
+/// A fully-staged fleet drain, ready to fire: the master with every
+/// tenant registered, the shared daemon pool (kept alive — the masters
+/// hold only `Arc` views), and the violation batch.
+pub(crate) struct StagedDrain {
+    pub(crate) fleet: FleetMaster,
+    #[allow(dead_code)] // keeps the pool's daemons alive for the drain
+    pub(crate) pool: Vec<Arc<SlaveDaemon>>,
+    pub(crate) violations: Vec<FleetViolation>,
+    pub(crate) tenants: Vec<StagedTenant>,
+}
+
+/// Renders one [`TenantOutcome`] as the per-tenant JSON row.
+fn tenant_json(t: &TenantOutcome) -> serde_json::Value {
+    json!({
+        "tenant": t.tenant,
+        "name": t.name,
+        "family": t.family,
+        "seed": t.seed,
+        "lookback": t.lookback,
+        "tp": t.counts.tp,
+        "fp": t.counts.fp,
+        "fn": t.counts.fn_,
+        "divergent": t.divergent,
+    })
 }
 
 impl FleetCampaign {
@@ -106,27 +213,64 @@ impl FleetCampaign {
         }
     }
 
-    /// Runs the drain: simulate every tenant, ingest into the shared
-    /// pool, fire all violations at once, score and time the reports.
-    pub fn evaluate(&self) -> FleetResult {
+    /// Builds the drain without firing it: simulates every tenant,
+    /// ingests the shared pool, registers slaves, and computes the solo
+    /// (in-process single-app) reference report per tenant. Shared
+    /// between [`FleetCampaign::evaluate`] and the attribution harness
+    /// ([`crate::attribution::attribute`]) so both diagnose the *exact
+    /// same* staged fleet.
+    pub(crate) fn stage(&self) -> StagedDrain {
         assert!(self.hosts >= 1, "at least one host");
+        // The shared pool serves every tenant, so its per-metric rings
+        // must be deep enough for the *largest* effective look-back in
+        // the mix — otherwise a slow-manifesting tenant's W = 500
+        // analysis reads a ring sized for the default window and its
+        // fleet report silently diverges from solo.
+        let max_lookback = (0..self.tenants)
+            .map(|i| {
+                let (_, fault) = tenant_mix(i);
+                if fault.is_slow_manifesting() {
+                    SLOW_FAULT_LOOKBACK
+                } else {
+                    self.lookback
+                }
+            })
+            .max()
+            .unwrap_or(self.lookback)
+            .max(self.config.lookback);
+        let capacity = (max_lookback as usize * 8).clamp(600, 4000);
         let pool: Vec<Arc<SlaveDaemon>> = (0..self.hosts)
-            .map(|_| Arc::new(SlaveDaemon::new(self.config.clone())))
+            .map(|_| Arc::new(SlaveDaemon::new(self.config.clone()).with_capacity(capacity)))
             .collect();
         let mut fleet = FleetMaster::new(self.config.clone());
 
+        let solo = FChain::new(self.config.clone());
         let mut violations: Vec<FleetViolation> = Vec::new();
-        let mut targets: Vec<(AppId, Vec<fchain_metrics::ComponentId>, bool)> = Vec::new();
+        let mut preps: Vec<StagedTenant> = Vec::new();
         for i in 0..self.tenants {
             let (app_kind, fault) = tenant_mix(i);
             let seed = self.base_seed + i as u64;
             let run =
                 Simulator::new(RunConfig::new(app_kind, fault, seed).with_duration(self.duration))
                     .run();
-            let Some(case) = case_from_run(&run, self.lookback) else {
+            let Some(mut case) = case_from_run(&run, self.lookback) else {
                 continue; // the SLO never fired; nothing to drain
             };
-            let app = fleet.add_tenant(&format!("{}-{i}", app_kind.name()));
+            // The paper hand-picks W = 500 for slow-manifesting faults;
+            // the solo campaign honors it, and the fleet path must too —
+            // analyzing a DiskHog at the default window was the recall
+            // bug this campaign now guards against.
+            let lookback = if fault.is_slow_manifesting() {
+                SLOW_FAULT_LOOKBACK
+            } else {
+                self.lookback
+            };
+            case.lookback = lookback;
+            let name = format!("{}-{i}", app_kind.name());
+            let app = fleet.add_tenant(&name);
+            if lookback != self.config.lookback {
+                fleet.set_tenant_lookback(app, lookback);
+            }
             for (c, component) in case.components.iter().enumerate() {
                 let host = &pool[(i + c) % self.hosts];
                 for kind in MetricKind::ALL {
@@ -170,32 +314,80 @@ impl FleetCampaign {
                     )),
                 );
             }
-            if let Some(deps) = case.discovered_deps.clone() {
+            // The fleet master sees the same dependency evidence the solo
+            // pipeline would use: observed request traces, and — only
+            // under the ensemble, which knows how to weigh weaker
+            // evidence — the declared dataflow topology as a fallback.
+            let installed_deps = if self.config.ensemble.enabled {
+                case.discovered_deps
+                    .clone()
+                    .filter(|g| !g.is_empty())
+                    .or_else(|| case.known_topology.clone())
+            } else {
+                case.discovered_deps.clone()
+            };
+            if let Some(deps) = installed_deps.clone() {
                 fleet.set_dependencies(app, deps);
             }
             violations.push(FleetViolation {
                 app,
                 violation_at: case.violation_at,
             });
-            targets.push((app, run.fault.targets.clone(), stalled));
+            let solo_pinpointed = solo.diagnose(&case).pinpointed;
+            preps.push(StagedTenant {
+                outcome: TenantOutcome {
+                    tenant: i,
+                    app,
+                    name,
+                    family: format!("{}/{:?}", app_kind.name(), fault),
+                    seed,
+                    lookback,
+                    counts: Counts::default(),
+                    pinpointed: Vec::new(),
+                    truth: run.fault.targets.clone(),
+                    solo_pinpointed,
+                    divergent: false,
+                },
+                stalled,
+                case,
+                deps: installed_deps,
+            });
         }
+        StagedDrain {
+            fleet,
+            pool,
+            violations,
+            tenants: preps,
+        }
+    }
+
+    /// Runs the drain: simulate every tenant, ingest into the shared
+    /// pool, fire all violations at once, score and time the reports.
+    pub fn evaluate(&self) -> FleetResult {
+        let mut staged = self.stage();
+        let preps = &mut staged.tenants;
 
         let started = std::time::Instant::now();
-        let reports = fleet.on_violations(&violations);
+        let reports = staged.fleet.on_violations(&staged.violations);
         let wall_clock = started.elapsed();
 
         let mut counts = Counts::default();
         let mut latencies: Vec<f64> = Vec::new();
         let mut healthy_latencies: Vec<f64> = Vec::new();
         for report in &reports {
-            let (_, faulty, stalled) = targets
-                .iter()
-                .find(|(app, _, _)| *app == report.app)
+            let prep = preps
+                .iter_mut()
+                .find(|p| p.outcome.app == report.app)
                 .expect("every report belongs to a simulated tenant");
-            counts.add_case(&report.report.pinpointed, faulty);
+            prep.outcome
+                .counts
+                .add_case(&report.report.pinpointed, &prep.outcome.truth);
+            prep.outcome.pinpointed = report.report.pinpointed.clone();
+            prep.outcome.divergent = prep.outcome.pinpointed != prep.outcome.solo_pinpointed;
+            counts.merge(prep.outcome.counts);
             let ms = report.latency.as_secs_f64() * 1e3;
             latencies.push(ms);
-            if !stalled {
+            if !prep.stalled {
                 healthy_latencies.push(ms);
             }
         }
@@ -216,6 +408,7 @@ impl FleetCampaign {
             healthy_p99_latency_ms: stats::percentile_sorted(&healthy_latencies, 99.0)
                 .unwrap_or(0.0),
             counts,
+            per_tenant: staged.tenants.into_iter().map(|p| p.outcome).collect(),
         }
     }
 
@@ -232,6 +425,7 @@ impl FleetCampaign {
                 "rpc_delay_ms": self.rpc_delay_ms,
                 "slave_deadline_ms": self.config.slave_deadline_ms,
                 "engine": self.config.engine.to_string(),
+                "ensemble": self.config.ensemble.enabled,
             },
             "sweep": sweep.iter().map(|r| json!({
                 "tenants": r.tenants,
@@ -243,6 +437,12 @@ impl FleetCampaign {
                 "healthy_p99_latency_ms": r.healthy_p99_latency_ms,
                 "precision": r.counts.precision(),
                 "recall": r.counts.recall(),
+                "tp": r.counts.tp,
+                "fp": r.counts.fp,
+                "fn": r.counts.fn_,
+                "divergent_tenants": r.divergent_tenants(),
+                "divergent_families": r.divergent_families(),
+                "per_tenant": r.per_tenant.iter().map(tenant_json).collect::<Vec<_>>(),
             })).collect::<Vec<_>>(),
         })
     }
@@ -304,6 +504,47 @@ mod tests {
     }
 
     #[test]
+    fn per_tenant_counts_sum_to_the_aggregate() {
+        let result = small_campaign(3).evaluate();
+        assert_eq!(result.per_tenant.len(), 3);
+        let mut summed = Counts::default();
+        for t in &result.per_tenant {
+            summed.merge(t.counts);
+        }
+        assert_eq!(summed, result.counts);
+        for (i, t) in result.per_tenant.iter().enumerate() {
+            assert_eq!(t.tenant, i);
+            assert!(!t.truth.is_empty(), "every mix case has a culprit");
+        }
+    }
+
+    #[test]
+    fn slow_manifesting_tenant_gets_the_long_window() {
+        // tenant_mix(2) is the Hadoop ConcurrentDiskHog — the paper's
+        // hand-picked W = 500 case.
+        let result = small_campaign(3).evaluate();
+        let slow = &result.per_tenant[2];
+        assert_eq!(slow.lookback, SLOW_FAULT_LOOKBACK);
+        assert_eq!(result.per_tenant[0].lookback, 100);
+    }
+
+    #[test]
+    fn divergence_summary_reflects_the_flags() {
+        let mut result = small_campaign(2).evaluate();
+        for t in &mut result.per_tenant {
+            t.divergent = false;
+        }
+        assert!(result.divergent_tenants().is_empty());
+        assert!(result.divergent_families().is_empty());
+        result.per_tenant[1].divergent = true;
+        assert_eq!(result.divergent_tenants(), vec![1]);
+        assert_eq!(
+            result.divergent_families(),
+            vec![result.per_tenant[1].family.clone()]
+        );
+    }
+
+    #[test]
     fn json_summary_has_the_bench_shape() {
         let campaign = small_campaign(1);
         let result = campaign.evaluate();
@@ -316,6 +557,10 @@ mod tests {
             "\"p50_latency_ms\"",
             "\"p99_latency_ms\"",
             "\"recall\"",
+            "\"per_tenant\"",
+            "\"divergent_tenants\"",
+            "\"divergent_families\"",
+            "\"fn\"",
         ] {
             assert!(rendered.contains(key), "missing {key} in {rendered}");
         }

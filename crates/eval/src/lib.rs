@@ -25,8 +25,12 @@
 //! * [`render`] prints the text tables the benchmark targets emit.
 
 #![deny(missing_docs)]
+// The fleet bench JSON rows grew past the vendored `json!` macro's
+// default expansion depth.
+#![recursion_limit = "256"]
 #![deny(missing_debug_implementations)]
 
+pub mod attribution;
 mod campaign;
 mod casegen;
 mod degraded;
@@ -37,10 +41,11 @@ mod score;
 
 pub mod render;
 
+pub use attribution::{attribute, AttributionReport, Divergence, TenantAttribution};
 pub use campaign::{Campaign, CampaignResult, CaseOutcome};
 pub use casegen::case_from_run;
 pub use degraded::{DegradedCampaign, DegradedPoint};
-pub use fleet::{FleetCampaign, FleetResult};
+pub use fleet::{FleetCampaign, FleetResult, TenantOutcome, SLOW_FAULT_LOOKBACK};
 pub use probe::OracleProbe;
 pub use roc::{RocCurve, RocPoint};
 pub use score::Counts;

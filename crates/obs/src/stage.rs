@@ -130,11 +130,14 @@ pub enum Counter {
     /// Tenant lanes drained by a fleet master (one per tenant with at
     /// least one queued violation).
     FleetLanes,
+    /// Per-tenant look-back overrides clamped up to the minimum window
+    /// (an operator asked for an evidence window too small to analyze).
+    FleetLookbackClamped,
 }
 
 impl Counter {
     /// Every counter, in registry order.
-    pub const ALL: [Counter; 20] = [
+    pub const ALL: [Counter; 21] = [
         Counter::MetricsAnalyzed,
         Counter::ComponentsAnalyzed,
         Counter::ChangePointCandidates,
@@ -155,6 +158,7 @@ impl Counter {
         Counter::StreamingScreened,
         Counter::FleetViolations,
         Counter::FleetLanes,
+        Counter::FleetLookbackClamped,
     ];
 
     /// The counter's slot in the static registry.
@@ -187,6 +191,7 @@ impl Counter {
             Counter::StreamingScreened => "streaming_screened",
             Counter::FleetViolations => "fleet_violations",
             Counter::FleetLanes => "fleet_lanes",
+            Counter::FleetLookbackClamped => "fleet_lookback_clamped",
         }
     }
 }

@@ -288,6 +288,56 @@ fn fleet_of_one_matches_the_single_app_master() {
     assert!(compared >= 6, "only {compared} seeded cases fired");
 }
 
+/// The ensemble pinpointing stage is opt-in: with `ensemble.enabled =
+/// false` (the default) the diagnosis path must be bit-identical to the
+/// plain default config no matter how the other ensemble knobs are set —
+/// the stage is fully gated, so pre-ensemble reports are pinned. With the
+/// stage enabled, reports must still be deterministic across the
+/// parallel and sequential drain paths.
+#[test]
+fn disabled_ensemble_is_invisible_and_enabled_is_deterministic() {
+    let cases = [
+        (AppKind::Rubis, FaultKind::CpuHog, 900u64),
+        (AppKind::Hadoop, FaultKind::ConcurrentMemLeak, 40),
+        (AppKind::SystemS, FaultKind::MemLeak, 500),
+    ];
+    assert!(
+        !FChainConfig::default().ensemble.enabled,
+        "the ensemble stage must stay opt-in"
+    );
+    let mut compared = 0;
+    for (app, fault, seed) in cases {
+        let Some((reference, violation_at)) = master_from_seeded_run(app, fault, seed) else {
+            continue;
+        };
+        // Disabled stage, every other knob scrambled: still bit-identical.
+        let mut scrambled = FChainConfig::default();
+        scrambled.ensemble.confidence_floor = 99.0;
+        scrambled.ensemble.coverage_penalty = 17.0;
+        scrambled.ensemble.centrality_widening = false;
+        scrambled.ensemble.silent_hole = false;
+        let (gated, _) = master_from_seeded_run_with(app, fault, seed, false, &scrambled)
+            .expect("same seed must produce the same case");
+        assert_eq!(
+            reference.on_violation(violation_at),
+            gated.on_violation(violation_at),
+            "{app:?}/{fault:?} seed {seed}: a disabled ensemble changed the report"
+        );
+        // Enabled stage: parallel and sequential drains stay identical.
+        let mut enabled = FChainConfig::default();
+        enabled.ensemble.enabled = true;
+        let (ensembled, _) = master_from_seeded_run_with(app, fault, seed, false, &enabled)
+            .expect("same seed must produce the same case");
+        assert_eq!(
+            ensembled.on_violation(violation_at),
+            ensembled.on_violation_sequential(violation_at),
+            "{app:?}/{fault:?} seed {seed}: ensemble drain paths diverge"
+        );
+        compared += 1;
+    }
+    assert!(compared >= 2, "only {compared} seeded cases fired");
+}
+
 /// One synthetic metric stream with adversarial ingest conditions: a
 /// modular baseline, an optional injected step fault, a dropped tick
 /// range (bridged gap, or a series-resetting outage when long enough) and

@@ -90,6 +90,80 @@ fn heterogeneous_fleet_drains_on_both_paths_identically() {
     }
 }
 
+/// Satellite regression guard for the fleet-accuracy collapse: with an
+/// uncontended pool (zero injected RPC latency) and a deadline budget no
+/// slave can miss, every tenant's fleet report must equal the report the
+/// same engine produces for that tenant solo — same seeds, same
+/// configuration. Six tenants cover every (application, fault) family in
+/// the tenant mix.
+#[test]
+fn uncontended_fleet_reports_match_solo_per_tenant() {
+    let _guard = drain_lock().lock().unwrap();
+    for ensemble in [false, true] {
+        let mut config = FChainConfig {
+            slave_deadline_ms: 600_000,
+            ..FChainConfig::default()
+        };
+        config.ensemble.enabled = ensemble;
+        let campaign = FleetCampaign {
+            duration: 1500,
+            rpc_delay_ms: 0,
+            config,
+            ..FleetCampaign::new(6, 4100)
+        };
+        let result = campaign.evaluate();
+        assert_eq!(result.diagnoses, 6, "every tenant reports");
+        for t in &result.per_tenant {
+            assert!(
+                !t.divergent,
+                "tenant {} ({}) diverged from solo with ensemble={ensemble}: \
+                 fleet {:?} vs solo {:?}",
+                t.tenant, t.family, t.pinpointed, t.solo_pinpointed
+            );
+        }
+        assert!(result.divergent_tenants().is_empty());
+        assert!(result.divergent_families().is_empty());
+    }
+}
+
+/// The per-tenant deadline budget (`fleet.tenant_deadline_ms`) overrides
+/// only how long the master waits for slaves — it must never shrink the
+/// evidence window a responding slave analyzes. Per-tenant look-back
+/// overrides are floored at the same minimum `FChainConfig::validate`
+/// enforces, with a warning counter on each clamp.
+#[test]
+fn tenant_deadline_never_shrinks_the_evidence_window() {
+    let mut config = FChainConfig::default();
+    config.fleet.tenant_deadline_ms = 1; // brutally tight budget
+    let lookback = config.lookback;
+    let mut fleet = FleetMaster::new(config);
+    let app = fleet.add_tenant("shop");
+    assert_eq!(
+        fleet.tenant_lookback(app),
+        lookback,
+        "the deadline override leaked into the evidence window"
+    );
+
+    // A legitimate per-tenant widening (paper Table I: W = 500 for the
+    // slow-manifesting disk hog) passes through untouched...
+    assert_eq!(fleet.set_tenant_lookback(app, 500), 500);
+    assert_eq!(fleet.tenant_lookback(app), 500);
+
+    // ...while a window below the validated floor is clamped up, never
+    // honored, and counted.
+    let before = obs::snapshot();
+    let effective = fleet.set_tenant_lookback(app, 1);
+    assert!(
+        effective >= 10,
+        "sub-floor look-back was honored: {effective}"
+    );
+    assert_eq!(fleet.tenant_lookback(app), effective);
+    if obs::enabled() {
+        let delta = obs::snapshot().delta_since(&before);
+        assert_eq!(delta.counter(Counter::FleetLookbackClamped), 1);
+    }
+}
+
 #[test]
 fn duplicate_slave_registration_is_a_no_op_everywhere() {
     let config = FChainConfig::default();
